@@ -1,0 +1,116 @@
+// Benchmark harness: one benchmark per table and figure of the paper
+// (regenerating the artifact end-to-end in quick mode), plus paper-scale
+// micro-benchmarks of the scheduling algorithms themselves. Run with
+//
+//	go test -bench=. -benchmem
+//
+// Accuracy-bearing artifacts (fig2, fig3*, tab3, tab5, fig6) perform real
+// gradient descent and take tens of seconds per iteration; use
+// -benchtime=1x for a single regeneration of each.
+package fedsched_test
+
+import (
+	"testing"
+
+	"fedsched"
+	"fedsched/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	d, ok := experiments.Lookup(id)
+	if !ok {
+		b.Fatalf("unknown experiment %q", id)
+	}
+	opts := experiments.Options{Quick: true, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := d(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Motivation study (paper §III).
+func BenchmarkFig1BatchTraces(b *testing.B)  { benchExperiment(b, "fig1") }
+func BenchmarkTable2EpochTimes(b *testing.B) { benchExperiment(b, "tab2") }
+
+// Data-distribution studies (paper §III-B/C).
+func BenchmarkFig2IIDImbalance(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFig3aNClassNonIID(b *testing.B) { benchExperiment(b, "fig3a") }
+func BenchmarkFig3bOutliers(b *testing.B)     { benchExperiment(b, "fig3b") }
+
+// Profiler (paper §IV-B).
+func BenchmarkFig4Profiler(b *testing.B) { benchExperiment(b, "fig4") }
+
+// IID scheduling evaluation (paper §VII-A).
+func BenchmarkFig5IIDTime(b *testing.B)       { benchExperiment(b, "fig5") }
+func BenchmarkTable3IIDAccuracy(b *testing.B) { benchExperiment(b, "tab3") }
+
+// Non-IID scheduling evaluation (paper §VII-B).
+func BenchmarkFig6AlphaBeta(b *testing.B)        { benchExperiment(b, "fig6") }
+func BenchmarkTable4Schedules(b *testing.B)      { benchExperiment(b, "tab4") }
+func BenchmarkFig7NonIIDTime(b *testing.B)       { benchExperiment(b, "fig7") }
+func BenchmarkTable5NonIIDAccuracy(b *testing.B) { benchExperiment(b, "tab5") }
+
+// Paper-scale scheduler micro-benchmarks: 600 shards (60K samples) on the
+// 10-device Testbed III — the algorithmic hot path isolated from the
+// simulators.
+func paperScaleRequest(b *testing.B) *fedsched.Request {
+	b.Helper()
+	tb := fedsched.NewTestbed(3)
+	req, err := tb.Request(fedsched.LeNet(1, 28, 28, 10), 60000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return req
+}
+
+func BenchmarkFedLBAPPaperScale(b *testing.B) {
+	req := paperScaleRequest(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fedsched.FedLBAP.Schedule(req, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFedMinAvgPaperScale(b *testing.B) {
+	req := paperScaleRequest(b)
+	req.K, req.Alpha, req.Beta = 10, 1000, 2
+	for j, u := range req.Users {
+		u.Classes = []int{j % 10, (j + 3) % 10, (j + 6) % 10}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := fedsched.FedMinAvg.Schedule(req, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatedEpochTestbed3(b *testing.B) {
+	tb := fedsched.NewTestbed(3)
+	arch := fedsched.LeNet(1, 28, 28, 10)
+	asg, err := tb.ScheduleIID(arch, 60000)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.SimulateRounds(arch, asg, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// Extension experiments (ablations and optional directions).
+func BenchmarkExtEnergy(b *testing.B)      { benchExperiment(b, "ext-energy") }
+func BenchmarkExtAsync(b *testing.B)       { benchExperiment(b, "ext-async") }
+func BenchmarkExtSecAgg(b *testing.B)      { benchExperiment(b, "ext-secagg") }
+func BenchmarkExtGossip(b *testing.B)      { benchExperiment(b, "ext-gossip") }
+func BenchmarkExtDP(b *testing.B)          { benchExperiment(b, "ext-dp") }
+func BenchmarkExtGranularity(b *testing.B) { benchExperiment(b, "ext-granularity") }
+func BenchmarkExtDropout(b *testing.B)     { benchExperiment(b, "ext-dropout") }
+func BenchmarkExtAdaptive(b *testing.B)    { benchExperiment(b, "ext-adaptive") }

@@ -1,0 +1,57 @@
+// Command fedsim regenerates the paper's tables and figures from the
+// simulation substrate. Run `fedsim -list` to see experiment ids, `fedsim
+// -exp fig5` for one experiment, or `fedsim -exp all` for everything.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fedsched/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "", "experiment id (fig1..fig7, tab2..tab5) or 'all'")
+		quick = flag.Bool("quick", false, "reduced workloads for a fast pass")
+		seed  = flag.Int64("seed", 1, "random seed")
+		list  = flag.Bool("list", false, "list experiment ids")
+		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+	if *list || *exp == "" {
+		fmt.Println("experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %s\n", id)
+		}
+		if *exp == "" && !*list {
+			os.Exit(2)
+		}
+		return
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		d, ok := experiments.Lookup(id)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q (use -list)\n", id)
+			os.Exit(2)
+		}
+		rep, err := d(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		if *csv {
+			for _, t := range rep.Tables {
+				fmt.Printf("# %s — %s\n%s\n", rep.ID, t.Title, t.CSV())
+			}
+		} else {
+			fmt.Println(rep.String())
+		}
+	}
+}

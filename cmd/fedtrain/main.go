@@ -1,0 +1,166 @@
+// Command fedtrain runs end-to-end federated training on a simulated
+// mobile testbed: pick a testbed, dataset, model, scheduler and options,
+// get per-round progress and a final model checkpoint.
+//
+// Examples:
+//
+//	fedtrain -testbed 2 -dataset smnist -rounds 10
+//	fedtrain -testbed 1 -dataset scifar -classes-per-user 3 -alpha 1000 -beta 2
+//	fedtrain -testbed 2 -secure -deadline 200 -checkpoint model.bin
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fedsched"
+	"fedsched/internal/data"
+)
+
+func main() {
+	var (
+		testbedID = flag.Int("testbed", 2, "paper testbed (1, 2 or 3)")
+		dataset   = flag.String("dataset", "smnist", "dataset: smnist | scifar")
+		scheduler = flag.String("scheduler", "fedlbap", "scheduler: fedlbap | fedminavg | prop | random | equal")
+		rounds    = flag.Int("rounds", 10, "global rounds")
+		samples   = flag.Int("samples", 3000, "training samples")
+		testN     = flag.Int("test", 1000, "test samples")
+		lr        = flag.Float64("lr", 0.02, "learning rate")
+		momentum  = flag.Float64("momentum", 0.9, "SGD momentum")
+		seed      = flag.Int64("seed", 1, "random seed")
+		classes   = flag.Int("classes-per-user", 0, "non-IID: classes per user (0 = IID)")
+		alpha     = flag.Float64("alpha", 1000, "Fed-MinAvg accuracy-cost weight")
+		beta      = flag.Float64("beta", 2, "Fed-MinAvg unseen-class reward")
+		secure    = flag.Bool("secure", false, "secure aggregation (pairwise masks)")
+		deadline  = flag.Float64("deadline", 0, "per-round deadline in seconds (0 = wait for all)")
+		ckpt      = flag.String("checkpoint", "", "write final model weights to this file")
+	)
+	flag.Parse()
+
+	tb := fedsched.NewTestbed(*testbedID)
+	users := len(tb.Profiles)
+
+	var train, test *fedsched.Dataset
+	var arch *fedsched.Arch
+	switch *dataset {
+	case "smnist":
+		train, test = fedsched.SMNIST(*samples, *seed), fedsched.SMNIST(*testN, *seed)
+		arch = fedsched.LeNetSmall(1, 16, 16, 10)
+	case "scifar":
+		train, test = fedsched.SCIFAR(*samples, *seed), fedsched.SCIFAR(*testN, *seed)
+		arch = fedsched.LeNetSmall(3, 16, 16, 10)
+	default:
+		fatalf("unknown dataset %q", *dataset)
+	}
+
+	// Paper-scale scheduling decides the partition shape; we rescale onto
+	// the reduced training set.
+	paperArch := fedsched.LeNet(train.C, 28, 28, 10)
+	req, err := tb.Request(paperArch, 60000)
+	check(err)
+	rng := rand.New(rand.NewSource(*seed))
+
+	var classSets [][]int
+	if *classes > 0 {
+		classSets = make([][]int, users)
+		for u := range classSets {
+			perm := rng.Perm(10)
+			classSets[u] = append([]int(nil), perm[:*classes]...)
+		}
+		for j, u := range req.Users {
+			u.Classes = classSets[j]
+		}
+		req.K, req.Alpha, req.Beta = 10, *alpha, *beta
+	}
+
+	var s fedsched.Scheduler
+	switch *scheduler {
+	case "fedlbap":
+		s = fedsched.FedLBAP
+	case "fedminavg":
+		s = fedsched.FedMinAvg
+		if *classes == 0 {
+			fatalf("fedminavg needs -classes-per-user > 0")
+		}
+	case "prop":
+		s = fedsched.Proportional
+	case "random":
+		s = fedsched.RandomSched
+	case "equal":
+		s = fedsched.Equal
+	default:
+		fatalf("unknown scheduler %q", *scheduler)
+	}
+	asg, err := s.Schedule(req, rng)
+	check(err)
+
+	// Rescale the schedule onto the reduced training set.
+	sizes := make([]int, users)
+	assigned := 0
+	for j, sh := range asg.Shards {
+		sizes[j] = sh * train.Len() / req.TotalShards
+		assigned += sizes[j]
+	}
+	for j := 0; assigned < train.Len(); j = (j + 1) % users {
+		if sizes[j] > 0 || *classes == 0 {
+			sizes[j]++
+			assigned++
+		}
+	}
+	var part fedsched.Partition
+	if *classes > 0 {
+		part = data.ByClassSets(train, classSets, sizes, rng)
+	} else {
+		part = data.IIDSizes(train, sizes, rng)
+	}
+
+	fmt.Printf("testbed %d (%d devices), %s on %s, scheduler %s\n",
+		*testbedID, users, arch.Name, train.Name, s.Name())
+	fmt.Printf("schedule (samples): %v  — predicted makespan %.0f s at paper scale\n",
+		part.Sizes(), asg.PredictedMakespan)
+
+	hist, err := tb.RunFederated(fedsched.RunConfig{
+		Arch: arch, Rounds: *rounds, LR: *lr, Momentum: *momentum,
+		Seed: *seed, EvalEvery: 1, SecureAgg: *secure, DeadlineSeconds: *deadline,
+	}, train, part, test)
+	check(err)
+
+	for _, r := range hist.Rounds {
+		dropped := 0
+		for _, cr := range r.Clients {
+			if cr.Dropped {
+				dropped++
+			}
+		}
+		fmt.Printf("round %2d  makespan %7.2f s  loss %6.4f  accuracy %.4f  dropped %d\n",
+			r.Round, r.Makespan, r.TrainLoss, r.Accuracy, dropped)
+	}
+	fmt.Printf("\nfinal accuracy %.4f over %.0f simulated seconds (%.1f kJ total energy)\n",
+		hist.FinalAccuracy, hist.TotalSeconds, hist.TotalEnergyJ/1000)
+	if hist.Confusion != nil {
+		worst, recall := hist.Confusion.WorstClass()
+		fmt.Printf("macro recall %.4f; worst class %d at recall %.3f\n",
+			hist.Confusion.MacroRecall(), worst, recall)
+	}
+
+	if *ckpt != "" {
+		f, err := os.Create(*ckpt)
+		check(err)
+		check(hist.Model.SaveWeights(f))
+		check(f.Close())
+		fmt.Printf("checkpoint written to %s\n", *ckpt)
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...interface{}) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	os.Exit(2)
+}

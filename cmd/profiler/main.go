@@ -1,0 +1,68 @@
+// Command profiler runs the offline performance-profiling phase (paper
+// §IV-B) for the device catalog and prints or saves the fitted profiles.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"fedsched/internal/device"
+	"fedsched/internal/nn"
+	"fedsched/internal/profile"
+)
+
+func main() {
+	var (
+		out     = flag.String("o", "", "write profiles as JSON to this file (default: print table)")
+		inC     = flag.Int("channels", 1, "input channels of the target dataset")
+		inHW    = flag.Int("size", 28, "input spatial size (height = width)")
+		classes = flag.Int("classes", 10, "number of classes")
+	)
+	flag.Parse()
+
+	suite := profile.Suite(*inC, *inHW, *inHW, *classes)
+	catalog := device.Catalog()
+	names := make([]string, 0, len(catalog))
+	for name := range catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	profiles := make(map[string]*profile.DeviceProfile, len(names))
+	for _, name := range names {
+		dev := device.New(catalog[name])
+		p, err := profile.BuildOffline(dev, suite, profile.DefaultSizes)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "profiling %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		profiles[name] = p
+	}
+
+	if *out != "" {
+		blob, err := json.MarshalIndent(profiles, "", "  ")
+		if err == nil {
+			err = os.WriteFile(*out, blob, 0o644)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d profiles to %s\n", len(profiles), *out)
+		return
+	}
+
+	lenet := nn.LeNet(*inC, *inHW, *inHW, *classes)
+	vgg := nn.VGG6(*inC, *inHW, *inHW, *classes)
+	fmt.Printf("%-8s  %-10s  %-6s  %-14s  %-14s\n", "device", "size", "R²", "LeNet pred[s]", "VGG6 pred[s]")
+	for _, name := range names {
+		p := profiles[name]
+		for _, f := range p.Step1 {
+			fmt.Printf("%-8s  %-10d  %-6.3f  %-14.1f  %-14.1f\n",
+				name, f.DataSize, f.R2, p.Predict(lenet, f.DataSize), p.Predict(vgg, f.DataSize))
+		}
+	}
+}

@@ -1,0 +1,57 @@
+// Command tables regenerates every table and figure of the paper and
+// writes a Markdown report (the body of EXPERIMENTS.md). Use -quick for a
+// fast pass with reduced training workloads.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"fedsched/internal/experiments"
+)
+
+func main() {
+	var (
+		out   = flag.String("o", "", "output file (default stdout)")
+		quick = flag.Bool("quick", false, "reduced training workloads")
+		seed  = flag.Int64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "# Regenerated evaluation (%s, quick=%v, seed=%d)\n",
+		time.Now().Format("2006-01-02"), *quick, *seed)
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	for _, id := range experiments.IDs() {
+		d, _ := experiments.Lookup(id)
+		start := time.Now()
+		rep, err := d(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(&b, "\n## %s — %s\n\n```\n", rep.ID, rep.Title)
+		for _, t := range rep.Tables {
+			b.WriteString(t.String())
+			b.WriteByte('\n')
+		}
+		b.WriteString("```\n")
+		for _, n := range rep.Notes {
+			fmt.Fprintf(&b, "\n> %s\n", n)
+		}
+		fmt.Fprintf(os.Stderr, "%s done in %s\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *out == "" {
+		fmt.Print(b.String())
+		return
+	}
+	if err := os.WriteFile(*out, []byte(b.String()), 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "writing %s: %v\n", *out, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

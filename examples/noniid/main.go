@@ -1,0 +1,64 @@
+// Non-IID scheduling: reproduces the paper's α/β trade-off (Fig 6) on the
+// S(I) scenario — a fast device that unfortunately holds only two classes,
+// one of which nobody else has. Sweeping α shifts load towards class-rich
+// devices; β pulls unseen-class outliers back in.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedsched"
+)
+
+func main() {
+	tb := fedsched.NewTestbed(1) // Nexus6, Mate10, Pixel2
+	arch := fedsched.LeNet(3, 32, 32, 10)
+
+	// Paper Table IV, scenario S(I): class 7 exists ONLY on Pixel2 — the
+	// fastest phone but the poorest class coverage.
+	classSets := [][]int{
+		{0, 1, 2, 3, 4, 5, 6, 9}, // Nexus6
+		{2, 3, 4, 5, 6, 8},       // Mate10
+		{7, 8},                   // Pixel2 (unique class 7)
+	}
+
+	fmt.Println("Fed-MinAvg schedules for 50K samples (samples per device):")
+	fmt.Printf("%-18s %-10s %-10s %-10s %-12s\n", "(alpha,beta)", "Nexus6", "Mate10", "Pixel2", "makespan[s]")
+	for _, p := range []struct{ alpha, beta float64 }{
+		{100, 0}, {1000, 0}, {5000, 0}, {100, 2}, {5000, 2},
+	} {
+		asg, err := tb.ScheduleNonIID(arch, 50000, classSets, 10, p.alpha, p.beta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		s := asg.Samples(fedsched.ShardSize)
+		fmt.Printf("(%6.0f, %1.0f)        %-10d %-10d %-10d %-12.0f\n",
+			p.alpha, p.beta, s[0], s[1], s[2], asg.PredictedMakespan)
+	}
+
+	fmt.Println("\nAccuracy consequence (reduced-scale training):")
+	train := fedsched.SCIFAR(1800, 99)
+	test := fedsched.SCIFAR(600, 99)
+	for _, p := range []struct{ alpha, beta float64 }{{5000, 0}, {5000, 2}} {
+		asg, err := tb.ScheduleNonIID(arch, 50000, classSets, 10, p.alpha, p.beta)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Rescale the paper-size schedule onto the small training set.
+		sizes := make([]int, len(asg.Shards))
+		for j, s := range asg.Samples(fedsched.ShardSize) {
+			sizes[j] = s * train.Len() / 50000
+		}
+		part := fedsched.PartitionByClasses(train, classSets, sizes, 5)
+		hist, err := tb.RunFederated(fedsched.RunConfig{
+			Arch: fedsched.LeNetSmall(3, 16, 16, 10), Rounds: 8,
+			LR: 0.02, Momentum: 0.9, Seed: 5,
+		}, train, part, test)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  alpha=%4.0f beta=%1.0f → accuracy %.3f (Pixel2 got %d samples; it alone holds class 7)\n",
+			p.alpha, p.beta, hist.FinalAccuracy, len(part[2]))
+	}
+}

@@ -1,0 +1,52 @@
+// Offline profiling: builds the paper's two-step performance profile
+// (§IV-B, Fig 4) for a device, persists it to JSON, reloads it, and uses
+// it to predict epoch times for an architecture the profiler never saw.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+
+	"fedsched/internal/device"
+	"fedsched/internal/nn"
+	"fedsched/internal/profile"
+)
+
+func main() {
+	dev := device.New(device.Mate10())
+	suite := profile.Suite(1, 28, 28, 10)
+	fmt.Printf("profiling %s with %d architectures × %d data sizes...\n",
+		dev.Model, len(suite), len(profile.DefaultSizes))
+	prof, err := profile.BuildOffline(dev, suite, profile.DefaultSizes)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nstep-1 regressions (time = β0 + β1·convParams + β2·denseParams):")
+	for _, f := range prof.Step1 {
+		fmt.Printf("  %5d samples: β=(%.2f, %.2e, %.2e)  R²=%.4f\n",
+			f.DataSize, f.Coef[0], f.Coef[1], f.Coef[2], f.R2)
+	}
+
+	// Persist and reload — profiles are built offline once and shipped.
+	blob, err := json.Marshal(prof)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var loaded profile.DeviceProfile
+	if err := json.Unmarshal(blob, &loaded); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nserialized profile: %d bytes\n", len(blob))
+
+	// Predict an unseen architecture (a LeNet scaled 1.5×).
+	unseen := nn.LeNetVariant(1, 28, 28, 10, 1.5)
+	fmt.Printf("\npredictions for unseen %s (%d params):\n", unseen.Name, unseen.ParamCount())
+	fmt.Printf("  %-8s  %-14s  %-14s  %s\n", "samples", "predicted [s]", "simulated [s]", "error")
+	for _, n := range []int{1000, 2500, 5000} {
+		pred := loaded.Predict(unseen, n)
+		meas := dev.ColdEpochTime(unseen, n)
+		fmt.Printf("  %-8d  %-14.1f  %-14.1f  %+.1f%%\n", n, pred, meas, 100*(pred-meas)/meas)
+	}
+}

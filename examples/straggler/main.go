@@ -1,0 +1,63 @@
+// Straggler mitigation: shows how the Nexus 6P's thermal collapse drags a
+// synchronous federated round under naive scheduling, and how Fed-LBAP
+// sidesteps it by load *un*balancing (paper §III, Observation 2/4 and
+// Fig 5's Testbed II effect).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fedsched"
+	"fedsched/internal/device"
+	"fedsched/internal/nn"
+)
+
+func main() {
+	// First, watch the straggler in isolation: per-batch time on a cold
+	// Nexus 6P running LeNet. The big cluster trips offline mid-epoch.
+	d := device.New(device.Nexus6P())
+	arch := nn.LeNet(1, 28, 28, 10)
+	_, trace := d.TrainSamples(arch, 6000, 20)
+	fmt.Println("Nexus6P per-batch time (every 25th batch):")
+	for i := 0; i < len(trace); i += 25 {
+		pt := trace[i]
+		state := "big cores ON "
+		if !pt.BigOnline {
+			state = "big cores OFF"
+		}
+		fmt.Printf("  batch %3d: %.2f s  %.1f °C  %s\n", pt.Batch, pt.Seconds, pt.TempC, state)
+	}
+
+	// Now the federated view: Testbed II (two Nexus 6P among six phones),
+	// 60K samples per round.
+	tb := fedsched.NewTestbed(2)
+	req, err := tb.Request(arch, 60000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nper-round makespans over 4 consecutive rounds (heat accumulates):")
+	for _, s := range []fedsched.Scheduler{fedsched.Equal, fedsched.Proportional, fedsched.FedLBAP} {
+		asg, err := s.Schedule(req, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spans, err := tb.SimulateRounds(arch, asg, 4)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-12s", s.Name())
+		for _, v := range spans {
+			fmt.Printf("  %6.0f s", v)
+		}
+		fmt.Printf("   (straggler share: %d samples)\n", worstDeviceSamples(asg))
+	}
+	fmt.Println("\nFed-LBAP starves the thermally-limited Nexus6P devices and the")
+	fmt.Println("round time drops; Equal/Proportional keep feeding them and stall.")
+}
+
+// worstDeviceSamples reports how much data the two Nexus6P units (indices
+// 2 and 3 in Testbed II) received.
+func worstDeviceSamples(asg *fedsched.Assignment) int {
+	return (asg.Shards[2] + asg.Shards[3]) * 100
+}

@@ -1,0 +1,351 @@
+// Package fedsched is the public API of the fedsched library: a full
+// reproduction of "Optimize Scheduling of Federated Learning on
+// Battery-powered Mobile Devices" (Wang, Wei, Zhou — IPDPS 2020).
+//
+// The library contains, from the bottom up:
+//
+//   - a CPU deep-learning training stack (tensors, conv/dense layers, SGD)
+//     with the paper's LeNet and VGG6 architectures;
+//   - deterministic synthetic datasets standing in for MNIST and CIFAR10,
+//     plus every data-partitioning scheme in the paper's evaluation;
+//   - a mobile-device simulator (big.LITTLE clusters, interactive-governor
+//     DVFS, RC thermal model with throttling and the Nexus 6P's big-core
+//     shutdown), calibrated against the paper's Table II;
+//   - WiFi/LTE link models;
+//   - the two-step performance profiler (Fig 4);
+//   - the scheduling algorithms: Fed-LBAP (Algorithm 1), Fed-MinAvg
+//     (Algorithm 2), the Proportional/Random/Equal baselines, an exact
+//     brute-force oracle, plus classic LBAP and fragmentable bin packing
+//     reference solvers;
+//   - a synchronous FedAvg federated-learning engine over the simulated
+//     testbed;
+//   - experiment drivers regenerating every table and figure of the paper.
+//
+// Quick start: see examples/quickstart, or:
+//
+//	tb := fedsched.NewTestbed(2)                 // the paper's 6-device testbed
+//	arch := fedsched.LeNet(1, 28, 28, 10)        // ~205K-parameter LeNet
+//	asg, _ := tb.ScheduleIID(arch, 60000)        // Fed-LBAP schedule for 60K samples
+//	spans, _ := tb.SimulateRounds(arch, asg, 5)  // simulated round makespans
+package fedsched
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsched/internal/data"
+	"fedsched/internal/device"
+	"fedsched/internal/experiments"
+	"fedsched/internal/fl"
+	"fedsched/internal/network"
+	"fedsched/internal/nn"
+	"fedsched/internal/privacy"
+	"fedsched/internal/profile"
+	"fedsched/internal/sched"
+	"fedsched/internal/secagg"
+)
+
+// Re-exported core types. The aliases make the internal packages' fully
+// documented types available to library users without duplicating them.
+type (
+	// Arch is an analytic network architecture (buildable into a
+	// trainable Network).
+	Arch = nn.Arch
+	// Network is a trainable feed-forward network.
+	Network = nn.Network
+	// Dataset is a labelled image dataset.
+	Dataset = data.Dataset
+	// Partition assigns dataset sample indices to users.
+	Partition = data.Partition
+	// Device is a stateful simulated phone.
+	Device = device.Device
+	// DeviceProfile is a fitted two-step performance profile.
+	DeviceProfile = profile.DeviceProfile
+	// Link is a wireless link model.
+	Link = network.Link
+	// Scheduler produces workload assignments.
+	Scheduler = sched.Scheduler
+	// Request is a scheduling problem.
+	Request = sched.Request
+	// Assignment is a computed schedule.
+	Assignment = sched.Assignment
+	// User is one scheduling participant.
+	User = sched.User
+	// Client is one federated participant.
+	Client = fl.Client
+	// RunConfig drives a federated run.
+	RunConfig = fl.Config
+	// History is the result of a federated run.
+	History = fl.History
+	// AsyncConfig drives asynchronous (staleness-weighted) aggregation.
+	AsyncConfig = fl.AsyncConfig
+	// AsyncHistory summarizes an asynchronous run.
+	AsyncHistory = fl.AsyncHistory
+	// GossipConfig drives decentralized (serverless) training.
+	GossipConfig = fl.GossipConfig
+	// GossipHistory summarizes a decentralized run.
+	GossipHistory = fl.GossipHistory
+	// Topology selects the gossip communication pattern.
+	Topology = fl.Topology
+	// OnlineProfile refines cost predictions from live round measurements.
+	OnlineProfile = profile.OnlineProfile
+	// PrivacyReporter randomizes class-coverage reports (local DP).
+	PrivacyReporter = privacy.Reporter
+	// SecureGroup is a pairwise-mask secure-aggregation cohort.
+	SecureGroup = secagg.Group
+	// AlphaSearchResult is one candidate from TuneAlpha.
+	AlphaSearchResult = sched.AlphaSearchResult
+)
+
+// Gossip topologies.
+const (
+	Ring        = fl.Ring
+	RandomPairs = fl.RandomPairs
+)
+
+// Federated run modes and substrate constructors.
+var (
+	// RunAsync executes staleness-weighted asynchronous FL.
+	RunAsync = fl.RunAsync
+	// RunGossip executes decentralized pairwise-averaging FL.
+	RunGossip = fl.RunGossip
+	// NewOnlineProfile wraps an (optional) offline profile with live
+	// observation refitting.
+	NewOnlineProfile = profile.NewOnline
+	// NewPrivacyReporter builds an ε-LDP class-coverage reporter.
+	NewPrivacyReporter = privacy.NewReporter
+	// NewSecureGroup builds a secure-aggregation cohort.
+	NewSecureGroup = secagg.NewGroup
+	// TuneAlpha sweeps Fed-MinAvg's α over a grid (the paper's [100,5000]
+	// search) and returns the objective-minimizing schedule.
+	TuneAlpha = sched.TuneAlpha
+	// DefaultAlphaGrid is the paper's α search interval, sampled
+	// geometrically.
+	DefaultAlphaGrid = sched.DefaultAlphaGrid
+	// RandomClassSets draws random per-user class subsets (Fig 7's
+	// distribution generator).
+	RandomClassSets = sched.RandomClassSets
+)
+
+// Architecture constructors (paper scale and reduced scale).
+var (
+	LeNet      = nn.LeNet
+	VGG6       = nn.VGG6
+	LeNetSmall = nn.LeNetSmall
+	VGG6Small  = nn.VGG6Small
+)
+
+// Dataset generators (offline stand-ins for MNIST / CIFAR10).
+var (
+	SMNIST = data.SMNIST
+	SCIFAR = data.SCIFAR
+)
+
+// Link presets.
+var (
+	WiFi = network.WiFi
+	LTE  = network.LTE
+)
+
+// Schedulers.
+var (
+	// FedLBAP is Algorithm 1 (IID data, min-makespan).
+	FedLBAP sched.Scheduler = sched.FedLBAP{}
+	// FedMinAvg is Algorithm 2 (non-IID data, min average cost).
+	FedMinAvg sched.Scheduler = sched.FedMinAvg{}
+	// Proportional assigns data proportional to mean CPU frequency.
+	Proportional sched.Scheduler = sched.Proportional{}
+	// RandomSched assigns uniformly random partitions.
+	RandomSched sched.Scheduler = sched.Random{}
+	// Equal assigns equal shares (the FedAvg default).
+	Equal sched.Scheduler = sched.Equal{}
+)
+
+// ShardSize is the paper's data granularity: 100 samples per shard.
+const ShardSize = 100
+
+// Testbed is a profiled collection of simulated phones ready for
+// scheduling and federated simulation — the facade over the device,
+// profile, network, sched and fl packages.
+type Testbed struct {
+	Profiles []device.Profile
+	Link     network.Link
+	// BatteryBudget, when positive, caps each user's per-round workload at
+	// the shards its battery affords at that fraction of remaining energy
+	// per round — the paper's capacity constraint C_j "quantified by the
+	// storage or battery energy" (§VI-A).
+	BatteryBudget float64
+
+	profiles map[string]*profile.DeviceProfile
+}
+
+// NewTestbed returns one of the paper's testbeds (1, 2 or 3) on WiFi.
+// Profiling happens lazily on first schedule.
+func NewTestbed(id int) *Testbed {
+	return &Testbed{Profiles: device.Testbed(id), Link: network.WiFi()}
+}
+
+// NewCustomTestbed builds a testbed from explicit device profiles.
+func NewCustomTestbed(profiles []device.Profile, link network.Link) *Testbed {
+	return &Testbed{Profiles: profiles, Link: link}
+}
+
+// ensureProfiles runs offline profiling (once per device model) for the
+// architecture's input geometry.
+func (tb *Testbed) ensureProfiles(arch *nn.Arch) error {
+	if tb.profiles != nil {
+		return nil
+	}
+	suite := profile.Suite(arch.InC, arch.InH, arch.InW, arch.Classes)
+	tb.profiles = make(map[string]*profile.DeviceProfile, len(tb.Profiles))
+	for _, p := range tb.Profiles {
+		if _, ok := tb.profiles[p.Model]; ok {
+			continue
+		}
+		dp, err := profile.BuildOffline(device.New(p), suite, profile.DefaultSizes)
+		if err != nil {
+			return fmt.Errorf("fedsched: profiling %s: %w", p.Model, err)
+		}
+		tb.profiles[p.Model] = dp
+	}
+	return nil
+}
+
+// Request builds a scheduling request for totalSamples of the given
+// architecture, with per-user costs from the offline profiles.
+func (tb *Testbed) Request(arch *nn.Arch, totalSamples int) (*sched.Request, error) {
+	if err := tb.ensureProfiles(arch); err != nil {
+		return nil, err
+	}
+	comm := tb.Link.RoundTripTime(arch.SizeBytes())
+	users := make([]*sched.User, len(tb.Profiles))
+	for j, p := range tb.Profiles {
+		dp := tb.profiles[p.Model]
+		users[j] = &sched.User{
+			Name:        fmt.Sprintf("%s-%d", p.Model, j),
+			Cost:        func(n int) float64 { return dp.Predict(arch, n) },
+			CommSeconds: comm,
+			MeanFreqGHz: p.MeanFreqGHz(),
+		}
+		if tb.BatteryBudget > 0 {
+			users[j].CapacityShards = device.New(p).CapacityShards(arch, ShardSize, tb.BatteryBudget)
+		}
+	}
+	return &sched.Request{
+		TotalShards: totalSamples / ShardSize,
+		ShardSize:   ShardSize,
+		Users:       users,
+	}, nil
+}
+
+// ScheduleIID computes the Fed-LBAP (Algorithm 1) schedule for
+// totalSamples of IID data.
+func (tb *Testbed) ScheduleIID(arch *nn.Arch, totalSamples int) (*sched.Assignment, error) {
+	req, err := tb.Request(arch, totalSamples)
+	if err != nil {
+		return nil, err
+	}
+	return sched.FedLBAP{}.Schedule(req, nil)
+}
+
+// ScheduleNonIID computes the Fed-MinAvg (Algorithm 2) schedule given each
+// user's class coverage and the α/β trade-off parameters.
+func (tb *Testbed) ScheduleNonIID(arch *nn.Arch, totalSamples int, classSets [][]int, k int, alpha, beta float64) (*sched.Assignment, error) {
+	if len(classSets) != len(tb.Profiles) {
+		return nil, fmt.Errorf("fedsched: %d class sets for %d devices", len(classSets), len(tb.Profiles))
+	}
+	req, err := tb.Request(arch, totalSamples)
+	if err != nil {
+		return nil, err
+	}
+	for j, u := range req.Users {
+		u.Classes = classSets[j]
+	}
+	req.K, req.Alpha, req.Beta = k, alpha, beta
+	return sched.FedMinAvg{}.Schedule(req, nil)
+}
+
+// SimulateRounds runs `rounds` synchronous rounds of the assignment on
+// fresh devices and returns each round's makespan in simulated seconds.
+func (tb *Testbed) SimulateRounds(arch *nn.Arch, asg *sched.Assignment, rounds int) ([]float64, error) {
+	devs := make([]*device.Device, len(tb.Profiles))
+	links := make([]network.Link, len(tb.Profiles))
+	for i, p := range tb.Profiles {
+		devs[i] = device.New(p)
+		links[i] = tb.Link
+	}
+	return fl.SimulateRounds(arch, devs, links, asg.Samples(ShardSize), 20, rounds)
+}
+
+// RunFederated trains a real model with FedAvg over the partitioned
+// dataset on this testbed's simulated devices and returns the history
+// (per-round makespans, losses, accuracy).
+func (tb *Testbed) RunFederated(cfg fl.Config, train *data.Dataset, part data.Partition, test *data.Dataset) (*fl.History, error) {
+	if len(part) != len(tb.Profiles) {
+		return nil, fmt.Errorf("fedsched: partition for %d users, testbed has %d devices", len(part), len(tb.Profiles))
+	}
+	devs := make([]*device.Device, len(tb.Profiles))
+	links := make([]network.Link, len(tb.Profiles))
+	for i, p := range tb.Profiles {
+		devs[i] = device.New(p)
+		links[i] = tb.Link
+	}
+	clients, err := fl.BuildClients(devs, links, part.Materialize(train))
+	if err != nil {
+		return nil, err
+	}
+	return fl.Run(cfg, clients, test)
+}
+
+// Clients builds federated clients for this testbed from a data partition
+// (one per device), for use with RunAsync / RunGossip or a custom loop.
+func (tb *Testbed) Clients(train *data.Dataset, part data.Partition) ([]*fl.Client, error) {
+	if len(part) != len(tb.Profiles) {
+		return nil, fmt.Errorf("fedsched: partition for %d users, testbed has %d devices", len(part), len(tb.Profiles))
+	}
+	devs := make([]*device.Device, len(tb.Profiles))
+	links := make([]network.Link, len(tb.Profiles))
+	for i, p := range tb.Profiles {
+		devs[i] = device.New(p)
+		links[i] = tb.Link
+	}
+	return fl.BuildClients(devs, links, part.Materialize(train))
+}
+
+// Makespan evaluates an assignment's predicted makespan under a request's
+// cost model.
+func Makespan(req *sched.Request, asg *sched.Assignment) float64 {
+	return sched.Makespan(req, asg)
+}
+
+// PartitionIID splits ds into n stratified equal partitions.
+func PartitionIID(ds *data.Dataset, n int, seed int64) data.Partition {
+	return data.IIDEqual(ds, n, rand.New(rand.NewSource(seed)))
+}
+
+// PartitionIIDSizes splits ds into stratified partitions of given sizes.
+func PartitionIIDSizes(ds *data.Dataset, sizes []int, seed int64) data.Partition {
+	return data.IIDSizes(ds, sizes, rand.New(rand.NewSource(seed)))
+}
+
+// PartitionByClasses draws sizes[u] samples restricted to classSets[u].
+func PartitionByClasses(ds *data.Dataset, classSets [][]int, sizes []int, seed int64) data.Partition {
+	return data.ByClassSets(ds, classSets, sizes, rand.New(rand.NewSource(seed)))
+}
+
+// Experiment regenerates one of the paper's tables or figures by id
+// (fig1..fig7, tab2..tab5); quick reduces training workloads.
+func Experiment(id string, quick bool, seed int64) (string, error) {
+	d, ok := experiments.Lookup(id)
+	if !ok {
+		return "", fmt.Errorf("fedsched: unknown experiment %q (have %v)", id, experiments.IDs())
+	}
+	rep, err := d(experiments.Options{Quick: quick, Seed: seed})
+	if err != nil {
+		return "", err
+	}
+	return rep.String(), nil
+}
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string { return experiments.IDs() }

@@ -1,0 +1,252 @@
+package fedsched
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTestbedScheduleIID(t *testing.T) {
+	tb := NewTestbed(1)
+	arch := LeNet(1, 28, 28, 10)
+	asg, err := tb.ScheduleIID(arch, 6000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, s := range asg.Shards {
+		total += s
+	}
+	if total != 60 {
+		t.Fatalf("assigned %d shards, want 60", total)
+	}
+	if asg.PredictedMakespan <= 0 {
+		t.Fatal("no predicted makespan")
+	}
+	spans, err := tb.SimulateRounds(arch, asg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 2 || spans[0] <= 0 {
+		t.Fatalf("bad spans %v", spans)
+	}
+}
+
+func TestTestbedScheduleNonIID(t *testing.T) {
+	tb := NewTestbed(1)
+	arch := LeNet(3, 32, 32, 10)
+	classSets := [][]int{{0, 1, 2, 3}, {4, 5, 6}, {7, 8, 9}}
+	asg, err := tb.ScheduleNonIID(arch, 5000, classSets, 10, 100, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if asg.Participants() == 0 {
+		t.Fatal("nobody scheduled")
+	}
+	if _, err := tb.ScheduleNonIID(arch, 5000, classSets[:2], 10, 100, 2); err == nil {
+		t.Fatal("expected class-set arity error")
+	}
+}
+
+func TestRunFederatedOnTestbed(t *testing.T) {
+	tb := NewTestbed(1)
+	// Same seed → shared class prototypes; different sizes → disjoint
+	// sample randomness.
+	train := SMNIST(600, 3)
+	test := SMNIST(200, 3)
+	part := PartitionIID(train, 3, 1)
+	hist, err := tb.RunFederated(RunConfig{
+		Arch: LeNetSmall(1, 16, 16, 10), Rounds: 3, LR: 0.02, Momentum: 0.9, Seed: 1,
+	}, train, part, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.FinalAccuracy <= 0.2 {
+		t.Fatalf("accuracy %.3f implausibly low", hist.FinalAccuracy)
+	}
+	if hist.TotalSeconds <= 0 {
+		t.Fatal("no simulated time")
+	}
+	if _, err := tb.RunFederated(RunConfig{Arch: LeNetSmall(1, 16, 16, 10)}, train, part[:2], test); err == nil {
+		t.Fatal("expected partition arity error")
+	}
+}
+
+func TestPartitionHelpers(t *testing.T) {
+	ds := SCIFAR(300, 5)
+	p1 := PartitionIID(ds, 3, 1)
+	if p1.Total() != 300 {
+		t.Fatalf("IID total %d", p1.Total())
+	}
+	p2 := PartitionIIDSizes(ds, []int{100, 50}, 1)
+	if len(p2[0]) != 100 || len(p2[1]) != 50 {
+		t.Fatalf("sizes %v", p2.Sizes())
+	}
+	p3 := PartitionByClasses(ds, [][]int{{0, 1}}, []int{30}, 1)
+	for _, i := range p3[0] {
+		if ds.Labels[i] > 1 {
+			t.Fatal("class restriction violated")
+		}
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	out, err := Experiment("tab4", true, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "S(III)") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+	if _, err := Experiment("bogus", true, 1); err == nil {
+		t.Fatal("expected unknown-experiment error")
+	}
+	if len(ExperimentIDs()) < 12 {
+		t.Fatalf("expected ≥12 experiments, got %v", ExperimentIDs())
+	}
+}
+
+func TestCustomTestbedAndMakespan(t *testing.T) {
+	tb := NewCustomTestbed(NewTestbed(1).Profiles[:2], LTE())
+	arch := LeNet(1, 28, 28, 10)
+	req, err := tb.Request(arch, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	asg, err := FedLBAP.Schedule(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := Makespan(req, asg); m != asg.PredictedMakespan {
+		t.Fatalf("makespan mismatch: %v vs %v", m, asg.PredictedMakespan)
+	}
+}
+
+func TestBatteryBudgetCapsSchedule(t *testing.T) {
+	arch := LeNet(1, 28, 28, 10)
+	free := NewTestbed(1)
+	asgFree, err := free.ScheduleIID(arch, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capped := NewTestbed(1)
+	capped.BatteryBudget = 0.002 // tiny per-round energy budget
+	req, err := capped.Request(arch, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyCapped := false
+	for j, u := range req.Users {
+		if u.CapacityShards > 0 && u.CapacityShards < asgFree.Shards[j] {
+			anyCapped = true
+		}
+	}
+	if !anyCapped {
+		t.Skip("budget did not bind on this hardware model — adjust threshold")
+	}
+	asgCapped, err := FedLBAP.Schedule(req, nil)
+	if err != nil {
+		// Legitimate when the budget makes the instance infeasible.
+		return
+	}
+	for j, u := range req.Users {
+		if asgCapped.Shards[j] > u.CapacityShards {
+			t.Fatalf("battery capacity violated for user %d", j)
+		}
+	}
+}
+
+func TestFacadeSecureAndDeadline(t *testing.T) {
+	tb := NewTestbed(1)
+	train := SMNIST(450, 5)
+	test := SMNIST(150, 5)
+	part := PartitionIID(train, 3, 2)
+	hist, err := tb.RunFederated(RunConfig{
+		Arch: LeNetSmall(1, 16, 16, 10), Rounds: 3, LR: 0.02, Momentum: 0.9,
+		Seed: 2, SecureAgg: true,
+	}, train, part, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.FinalAccuracy < 0.5 {
+		t.Fatalf("secure facade run accuracy %.3f", hist.FinalAccuracy)
+	}
+	if hist.Confusion == nil || hist.Model == nil {
+		t.Fatal("history missing confusion matrix or final model")
+	}
+	if hist.Confusion.Accuracy() != hist.FinalAccuracy {
+		t.Fatal("confusion accuracy disagrees with FinalAccuracy")
+	}
+}
+
+func TestFacadeAsyncAndGossip(t *testing.T) {
+	tb := NewTestbed(1)
+	train := SMNIST(450, 6)
+	test := SMNIST(150, 6)
+	part := PartitionIID(train, 3, 3)
+	cfg := RunConfig{Arch: LeNetSmall(1, 16, 16, 10), Rounds: 3, LR: 0.02, Momentum: 0.9, Seed: 3}
+
+	clients, err := tb.Clients(train, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aHist, err := RunAsync(AsyncConfig{Config: cfg, MaxUpdates: 9}, clients, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aHist.Updates != 9 {
+		t.Fatalf("async updates %d", aHist.Updates)
+	}
+
+	gClients, err := tb.Clients(train, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gHist, err := RunGossip(GossipConfig{Config: cfg, Topology: Ring}, gClients, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gHist.MeanAccuracy <= 0.2 {
+		t.Fatalf("gossip accuracy %.3f", gHist.MeanAccuracy)
+	}
+
+	if _, err := tb.Clients(train, part[:1]); err == nil {
+		t.Fatal("expected partition arity error")
+	}
+}
+
+func TestFacadePrivacyAndSecagg(t *testing.T) {
+	rep, err := NewPrivacyReporter(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FlipProbability() <= 0 || rep.FlipProbability() >= 0.5 {
+		t.Fatalf("flip probability %v", rep.FlipProbability())
+	}
+	g, err := NewSecureGroup(3, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 {
+		t.Fatalf("group size %d", g.N)
+	}
+}
+
+func TestFacadeTuneAlpha(t *testing.T) {
+	tb := NewTestbed(1)
+	arch := LeNet(3, 32, 32, 10)
+	req, err := tb.Request(arch, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, u := range req.Users {
+		u.Classes = []int{j % 10, (j + 1) % 10}
+	}
+	req.K, req.Beta = 10, 0
+	best, sweep, err := TuneAlpha(req, DefaultAlphaGrid(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best == nil || len(sweep) != len(DefaultAlphaGrid()) {
+		t.Fatalf("best=%v sweep=%d", best, len(sweep))
+	}
+}

@@ -1,0 +1,147 @@
+// Package binpack implements bin packing with fragmentable items
+// (LeCun et al. [27]), the combinatorial problem the paper's Fed-MinAvg is
+// abstracted from: items (learning tasks) may be split into fragments
+// across bins (users), each split incurring a cost. The package provides a
+// first-fit-decreasing heuristic and the classic lower bound, used for
+// ablation comparisons against Fed-MinAvg and in tests.
+package binpack
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Fragment records a piece of an item placed into a bin.
+type Fragment struct {
+	Item, Bin int
+	Size      int
+}
+
+// Packing is the result of a fragmentable packing.
+type Packing struct {
+	Fragments []Fragment
+	// Splits is the number of fragmentations performed (fragments beyond
+	// the first of each placed item).
+	Splits int
+	// BinsUsed is the number of bins holding at least one fragment.
+	BinsUsed int
+}
+
+// FirstFitDecreasing packs the items (sizes) into bins with the given
+// capacities, splitting items whenever the current bin fills, visiting
+// bins in order. It returns an error when total capacity is insufficient.
+func FirstFitDecreasing(items []int, capacities []int) (*Packing, error) {
+	totalItems, totalCap := 0, 0
+	for _, s := range items {
+		if s < 0 {
+			return nil, fmt.Errorf("binpack: negative item size %d", s)
+		}
+		totalItems += s
+	}
+	for _, c := range capacities {
+		if c < 0 {
+			return nil, fmt.Errorf("binpack: negative capacity %d", c)
+		}
+		totalCap += c
+	}
+	if totalItems > totalCap {
+		return nil, fmt.Errorf("binpack: items (%d) exceed capacity (%d)", totalItems, totalCap)
+	}
+
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return items[order[a]] > items[order[b]] })
+
+	free := append([]int(nil), capacities...)
+	p := &Packing{}
+	bin := 0
+	used := make([]bool, len(capacities))
+	for _, it := range order {
+		remaining := items[it]
+		first := true
+		for remaining > 0 {
+			for bin < len(free) && free[bin] == 0 {
+				bin++
+			}
+			if bin >= len(free) {
+				return nil, fmt.Errorf("binpack: ran out of bins (internal accounting error)")
+			}
+			take := remaining
+			if take > free[bin] {
+				take = free[bin]
+			}
+			p.Fragments = append(p.Fragments, Fragment{Item: it, Bin: bin, Size: take})
+			used[bin] = true
+			free[bin] -= take
+			remaining -= take
+			if !first {
+				p.Splits++
+			}
+			first = false
+		}
+	}
+	for _, u := range used {
+		if u {
+			p.BinsUsed++
+		}
+	}
+	return p, nil
+}
+
+// MinSplitsLowerBound returns the classic lower bound on the number of
+// fragmentations needed to pack items of the given total into bins of the
+// given capacities: with k bins receiving data, at most k items can avoid
+// splitting entirely only if they fit, so any packing that must use k bins
+// performs at least (#bins used − #items that fit whole) ... simplified to
+// the standard bound max(0, binsNeeded − len(items)).
+func MinSplitsLowerBound(items []int, capacities []int) int {
+	total := 0
+	for _, s := range items {
+		total += s
+	}
+	caps := append([]int(nil), capacities...)
+	sort.Sort(sort.Reverse(sort.IntSlice(caps)))
+	need, acc := 0, 0
+	for _, c := range caps {
+		if acc >= total {
+			break
+		}
+		acc += c
+		need++
+	}
+	lb := need - len(items)
+	if lb < 0 {
+		return 0
+	}
+	return lb
+}
+
+// Validate checks a packing against the instance: every item fully placed,
+// no bin over capacity. It returns nil when consistent.
+func Validate(p *Packing, items []int, capacities []int) error {
+	placed := make([]int, len(items))
+	load := make([]int, len(capacities))
+	for _, f := range p.Fragments {
+		if f.Item < 0 || f.Item >= len(items) || f.Bin < 0 || f.Bin >= len(capacities) {
+			return fmt.Errorf("binpack: fragment out of range: %+v", f)
+		}
+		if f.Size <= 0 {
+			return fmt.Errorf("binpack: non-positive fragment size: %+v", f)
+		}
+		placed[f.Item] += f.Size
+		load[f.Bin] += f.Size
+	}
+	for i, want := range items {
+		if placed[i] != want {
+			return fmt.Errorf("binpack: item %d placed %d of %d", i, placed[i], want)
+		}
+	}
+	for b, l := range load {
+		if l > capacities[b] {
+			return fmt.Errorf("binpack: bin %d over capacity: %d > %d", b, l, capacities[b])
+		}
+	}
+	return nil
+}

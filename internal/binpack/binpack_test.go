@@ -1,0 +1,112 @@
+package binpack
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSimplePackNoSplits(t *testing.T) {
+	p, err := FirstFitDecreasing([]int{3, 2, 1}, []int{3, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(p, []int{3, 2, 1}, []int{3, 3}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Splits != 0 {
+		t.Fatalf("splits %d, want 0", p.Splits)
+	}
+	if p.BinsUsed != 2 {
+		t.Fatalf("bins used %d, want 2", p.BinsUsed)
+	}
+}
+
+func TestForcedSplit(t *testing.T) {
+	items := []int{5}
+	caps := []int{3, 3}
+	p, err := FirstFitDecreasing(items, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(p, items, caps); err != nil {
+		t.Fatal(err)
+	}
+	if p.Splits != 1 {
+		t.Fatalf("splits %d, want 1", p.Splits)
+	}
+	if lb := MinSplitsLowerBound(items, caps); lb != 1 {
+		t.Fatalf("lower bound %d, want 1", lb)
+	}
+}
+
+func TestInsufficientCapacity(t *testing.T) {
+	if _, err := FirstFitDecreasing([]int{10}, []int{4, 4}); err == nil {
+		t.Fatal("expected capacity error")
+	}
+	if _, err := FirstFitDecreasing([]int{-1}, []int{4}); err == nil {
+		t.Fatal("expected negative-size error")
+	}
+	if _, err := FirstFitDecreasing([]int{1}, []int{-4}); err == nil {
+		t.Fatal("expected negative-capacity error")
+	}
+}
+
+func TestZeroItems(t *testing.T) {
+	p, err := FirstFitDecreasing(nil, []int{5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Fragments) != 0 || p.BinsUsed != 0 {
+		t.Fatalf("empty pack: %+v", p)
+	}
+}
+
+func TestPackingValidAndBoundedProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nItems, nBins := 1+rng.Intn(8), 1+rng.Intn(6)
+		items := make([]int, nItems)
+		total := 0
+		for i := range items {
+			items[i] = rng.Intn(20)
+			total += items[i]
+		}
+		caps := make([]int, nBins)
+		remaining := total
+		for i := range caps {
+			caps[i] = rng.Intn(20)
+			remaining -= caps[i]
+		}
+		if remaining > 0 {
+			caps[0] += remaining // guarantee feasibility
+		}
+		p, err := FirstFitDecreasing(items, caps)
+		if err != nil {
+			return false
+		}
+		if Validate(p, items, caps) != nil {
+			return false
+		}
+		return p.Splits >= MinSplitsLowerBound(items, caps)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	items, caps := []int{4}, []int{4}
+	p, err := FirstFitDecreasing(items, caps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Fragments[0].Size = 3
+	if Validate(p, items, caps) == nil {
+		t.Fatal("validate missed short placement")
+	}
+	p.Fragments[0].Size = 5
+	if Validate(p, items, caps) == nil {
+		t.Fatal("validate missed over-capacity bin")
+	}
+}

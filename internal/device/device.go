@@ -1,0 +1,268 @@
+package device
+
+import (
+	"math"
+
+	"fedsched/internal/nn"
+)
+
+// Device is a stateful simulated phone. It tracks simulated time,
+// temperature, governor frequency, and consumed energy across training
+// work. A Device is not safe for concurrent use; federated clients each own
+// one.
+type Device struct {
+	Profile
+
+	// TempC is the current package temperature.
+	TempC float64
+	// FreqFactor is the governor's current frequency scale in (0, 1].
+	FreqFactor float64
+	// bigOffline records a hard thermal trip (Nexus 6P pathology).
+	bigOffline bool
+	// NowSeconds is the device-local simulated clock.
+	NowSeconds float64
+	// EnergyJ is the total energy consumed so far.
+	EnergyJ float64
+}
+
+// thermalStep is the integration step for the thermal/governor model.
+const thermalStep = 0.25 // seconds
+
+// New returns a cold, idle device with the given profile.
+func New(p Profile) *Device {
+	return &Device{Profile: p, TempC: p.AmbientC, FreqFactor: idleFreqFactor}
+}
+
+// idleFreqFactor is the governor's resting frequency scale.
+const idleFreqFactor = 0.35
+
+// Reset cools the device to ambient, resets the governor, clock and energy
+// account.
+func (d *Device) Reset() {
+	d.TempC = d.AmbientC
+	d.FreqFactor = idleFreqFactor
+	d.bigOffline = false
+	d.NowSeconds = 0
+	d.EnergyJ = 0
+}
+
+// intensityBlend maps a per-sample training FLOP cost to the interpolation
+// coordinate between the small and large anchors (log scale, clamped).
+func (d *Device) intensityBlend(trainFlops float64) float64 {
+	if trainFlops <= 0 {
+		return 0
+	}
+	lo, hi := math.Log10(d.AnchorSmall), math.Log10(d.AnchorLarge)
+	s := (math.Log10(trainFlops) - lo) / (hi - lo)
+	return math.Min(1, math.Max(0, s))
+}
+
+// baseThroughput returns the cold full-frequency training throughput
+// (FLOP/s) for the given per-sample training cost.
+func (d *Device) baseThroughput(trainFlops float64) float64 {
+	s := d.intensityBlend(trainFlops)
+	return (d.TputSmall + (d.TputLarge-d.TputSmall)*s) * 1e9
+}
+
+// utilization returns the fraction of peak power the workload draws.
+func (d *Device) utilization(trainFlops float64) float64 {
+	s := d.intensityBlend(trainFlops)
+	return d.UtilSmall + (d.UtilLarge-d.UtilSmall)*s
+}
+
+// currentThroughput applies governor frequency and thermal trips to the
+// base throughput.
+func (d *Device) currentThroughput(trainFlops float64) float64 {
+	t := d.baseThroughput(trainFlops) * d.FreqFactor
+	if d.bigOffline {
+		t *= d.BigOffFactor
+	}
+	return t
+}
+
+// advance integrates the governor and thermal model for dt seconds under
+// the given utilization, accumulating energy.
+func (d *Device) advance(dt float64, util float64, loaded bool) {
+	// Governor: exponential approach to target frequency.
+	target := idleFreqFactor
+	if loaded {
+		target = 1.0
+		if d.TempC > d.SoftTripC {
+			target = d.ThrottleFactor
+		}
+	}
+	alpha := 1 - math.Exp(-dt/math.Max(d.RampSeconds, 1e-3))
+	d.FreqFactor += (target - d.FreqFactor) * alpha
+
+	// Power: dynamic power ≈ peak · util · f³ plus a small static floor.
+	power := 0.15
+	if loaded {
+		f := d.FreqFactor
+		if d.bigOffline {
+			// Little cluster only: much lower power draw.
+			power += d.PeakWatts * util * f * f * f * 0.3
+		} else {
+			power += d.PeakWatts * util * f * f * f
+		}
+	}
+	// RC thermal update.
+	dT := (power - d.CoolingWPerC*(d.TempC-d.AmbientC)) / d.ThermalMassJPerC
+	d.TempC += dT * dt
+	// Hard trip with hysteresis.
+	if d.HardTripC > 0 {
+		if !d.bigOffline && d.TempC >= d.HardTripC {
+			d.bigOffline = true
+		} else if d.bigOffline && d.TempC <= d.HardTripC-d.HysteresisC {
+			d.bigOffline = false
+		}
+	}
+	d.EnergyJ += power * dt
+	d.NowSeconds += dt
+}
+
+// BatchPoint records one mini-batch of a training trace (Fig 1).
+type BatchPoint struct {
+	Batch     int
+	Seconds   float64 // batch duration
+	TempC     float64
+	FreqGHz   float64 // effective mean clock at batch end
+	BigOnline bool
+}
+
+// effectiveFreqGHz reports the mean clock implied by the current governor
+// state, for Fig 1(c)-style traces.
+func (d *Device) effectiveFreqGHz() float64 {
+	cores, sum := 0, 0.0
+	for _, c := range d.Clusters {
+		if d.bigOffline && c.Big {
+			continue
+		}
+		cores += c.Cores
+		sum += float64(c.Cores) * c.MaxFreqGHz * d.FreqFactor
+	}
+	if cores == 0 {
+		return 0
+	}
+	return sum / float64(cores)
+}
+
+// TrainSamples simulates training n samples of the given architecture in
+// mini-batches of batch size, advancing the device state. It returns the
+// elapsed simulated seconds and the per-batch trace.
+func (d *Device) TrainSamples(arch *nn.Arch, n, batch int) (float64, []BatchPoint) {
+	if n <= 0 {
+		return 0, nil
+	}
+	if batch <= 0 {
+		batch = 20
+	}
+	flops := arch.TrainFlopsPerSample()
+	util := d.utilization(flops)
+	start := d.NowSeconds
+	batches := (n + batch - 1) / batch
+	trace := make([]BatchPoint, 0, batches)
+	for b := 0; b < batches; b++ {
+		size := batch
+		if rem := n - b*batch; rem < size {
+			size = rem
+		}
+		work := float64(size) * flops
+		bStart := d.NowSeconds
+		for {
+			tput := d.currentThroughput(flops)
+			need := work / tput
+			if need <= thermalStep {
+				d.advance(need, util, true)
+				break
+			}
+			work -= tput * thermalStep
+			d.advance(thermalStep, util, true)
+		}
+		trace = append(trace, BatchPoint{
+			Batch:     b,
+			Seconds:   d.NowSeconds - bStart,
+			TempC:     d.TempC,
+			FreqGHz:   d.effectiveFreqGHz(),
+			BigOnline: !d.bigOffline,
+		})
+	}
+	return d.NowSeconds - start, trace
+}
+
+// EpochTime returns the simulated wall time for one full epoch over n
+// samples starting from the device's current thermal state.
+func (d *Device) EpochTime(arch *nn.Arch, n int) float64 {
+	elapsed, _ := d.TrainSamples(arch, n, 20)
+	return elapsed
+}
+
+// Idle advances the device for dt seconds without load (cooling down).
+func (d *Device) Idle(dt float64) {
+	for dt > 0 {
+		step := math.Min(thermalStep, dt)
+		d.advance(step, 0, false)
+		dt -= step
+	}
+}
+
+// ColdEpochTime measures the epoch time from a cold start without
+// perturbing the device: it snapshots state, measures, and restores. This
+// is what offline profiling uses.
+func (d *Device) ColdEpochTime(arch *nn.Arch, n int) float64 {
+	saved := *d
+	d.Reset()
+	t := d.EpochTime(arch, n)
+	*d = saved
+	return t
+}
+
+// BatteryRemaining returns the fraction of battery energy left, clamped to
+// [0, 1].
+func (d *Device) BatteryRemaining() float64 {
+	if d.BatteryJ <= 0 {
+		return 1
+	}
+	r := 1 - d.EnergyJ/d.BatteryJ
+	return math.Max(0, math.Min(1, r))
+}
+
+// EnergyPerSample estimates the energy (J) to train one sample of the
+// architecture at full frequency from the device's current thermal state —
+// a first-order estimate (power × time) for capacity planning.
+func (d *Device) EnergyPerSample(arch *nn.Arch) float64 {
+	flops := arch.TrainFlopsPerSample()
+	tput := d.currentThroughput(flops)
+	if d.FreqFactor < 1 {
+		// Planning assumes the governor ramps to full clock.
+		tput = d.baseThroughput(flops)
+		if d.bigOffline {
+			tput *= d.BigOffFactor
+		}
+	}
+	seconds := flops / tput
+	power := 0.15 + d.PeakWatts*d.utilization(flops)
+	return power * seconds
+}
+
+// CapacityShards implements the paper's battery-quantified capacity C_j
+// (§VI-A): the number of shards of the given architecture the device can
+// train per round while spending at most budgetFraction of its REMAINING
+// battery energy per round. Returns at least 0; a dead battery yields 0.
+func (d *Device) CapacityShards(arch *nn.Arch, shardSize int, budgetFraction float64) int {
+	if shardSize <= 0 || budgetFraction <= 0 {
+		return 0
+	}
+	remaining := d.BatteryJ - d.EnergyJ
+	if d.BatteryJ <= 0 {
+		// No battery model: effectively unconstrained.
+		return math.MaxInt32
+	}
+	if remaining <= 0 {
+		return 0
+	}
+	perShard := d.EnergyPerSample(arch) * float64(shardSize)
+	if perShard <= 0 {
+		return math.MaxInt32
+	}
+	return int(remaining * budgetFraction / perShard)
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"fmt"
+
+	"fedsched/internal/device"
+	"fedsched/internal/nn"
+	"fedsched/internal/profile"
+)
+
+func init() { register("fig4", Fig4) }
+
+// Fig4 reproduces Fig 4: the two-step profiler on Mate 10. (a) step-1
+// regressions of training time against (conv, dense) parameter counts per
+// data size; (b) the step-2 time-vs-data-size line for LeNet against
+// ground-truth simulation.
+func Fig4(o Options) (*Report, error) {
+	rep := &Report{ID: "fig4", Title: "Profiling training time on Mate10 via two-step linear regression (paper Fig 4)"}
+	dev := device.New(device.Mate10())
+	suite := profile.Suite(1, 28, 28, 10)
+	prof, err := profile.BuildOffline(dev, suite, profile.DefaultSizes)
+	if err != nil {
+		return nil, err
+	}
+
+	a := &Table{
+		Title:   "(a) step-1 fits: time = β0 + β1·convParams + β2·denseParams",
+		Columns: []string{"data size", "β0", "β1", "β2", "R²"},
+	}
+	for _, f := range prof.Step1 {
+		a.AddRow(f.DataSize, f.Coef[0], f.Coef[1], f.Coef[2], f.R2)
+	}
+	rep.Tables = append(rep.Tables, a)
+
+	b := &Table{
+		Title:   "(b) step-2 prediction vs measurement (LeNet)",
+		Columns: []string{"data size", "predicted [s]", "simulated [s]", "error %"},
+	}
+	lenet := nn.LeNet(1, 28, 28, 10)
+	for _, n := range []int{500, 1500, 2500, 3500, 5000, 7000} {
+		pred := prof.Predict(lenet, n)
+		meas := dev.ColdEpochTime(lenet, n)
+		b.AddRow(n, pred, meas, 100*(pred-meas)/meas)
+	}
+	rep.Tables = append(rep.Tables, b)
+	rep.Notes = append(rep.Notes,
+		fmt.Sprintf("Profiling suite: %d architectures spanning %d-%d conv params.", len(suite), minConv(suite), maxConv(suite)),
+		"Expected shape (paper): high step-1 R² and a small step-2 gap between prediction and measurement.",
+	)
+	return rep, nil
+}
+
+func minConv(suite []*nn.Arch) int {
+	best := -1
+	for _, a := range suite {
+		c, _ := a.ParamCounts()
+		if best < 0 || c < best {
+			best = c
+		}
+	}
+	return best
+}
+
+func maxConv(suite []*nn.Arch) int {
+	best := 0
+	for _, a := range suite {
+		c, _ := a.ParamCounts()
+		if c > best {
+			best = c
+		}
+	}
+	return best
+}

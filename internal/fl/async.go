@@ -1,0 +1,190 @@
+package fl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedsched/internal/data"
+	"fedsched/internal/nn"
+	"fedsched/internal/sim"
+	"fedsched/internal/tensor"
+)
+
+// AsyncConfig drives an asynchronous federated run. The paper (§II-B)
+// argues for synchronous aggregation because "inconsistent gradients could
+// easily lead to divergence and amortize the savings in computation time";
+// this mode implements the asynchronous alternative (staleness-weighted
+// server merging à la Ho et al. [11] / Zheng et al. [12]) so the trade-off
+// can be measured instead of assumed.
+type AsyncConfig struct {
+	Config
+	// MaxUpdates stops the run after this many server merges.
+	MaxUpdates int
+	// Duration stops the run after this much simulated time (seconds).
+	// Zero means unbounded (MaxUpdates must then be set).
+	Duration float64
+	// MixRate is the base server mixing rate η; an update with staleness s
+	// is applied with weight η/(1+s)^StalenessPower.
+	MixRate float64
+	// StalenessPower controls how aggressively stale updates are damped.
+	StalenessPower float64
+}
+
+func (c AsyncConfig) withDefaults() AsyncConfig {
+	c.Config = c.Config.withDefaults()
+	if c.MixRate <= 0 {
+		c.MixRate = 0.3
+	}
+	if c.StalenessPower < 0 {
+		c.StalenessPower = 0
+	}
+	if c.MaxUpdates <= 0 && c.Duration <= 0 {
+		c.MaxUpdates = 100
+	}
+	return c
+}
+
+// AsyncHistory summarizes an asynchronous run.
+type AsyncHistory struct {
+	Updates          int
+	VirtualSeconds   float64
+	FinalAccuracy    float64
+	MeanStaleness    float64
+	UpdatesPerClient []int
+	TotalEnergyJ     float64
+}
+
+// RunAsync executes staleness-weighted asynchronous federated learning on
+// the simulated testbed. Every client loops download → local epoch →
+// upload; the server merges each upload immediately, so fast devices never
+// wait for stragglers — at the price of stale gradients.
+func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHistory, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Arch == nil {
+		return nil, fmt.Errorf("fl: no architecture")
+	}
+	active := make([]*Client, 0, len(clients))
+	for _, c := range clients {
+		if c.Local != nil && c.Local.Len() > 0 {
+			active = append(active, c)
+		}
+	}
+	if len(active) == 0 {
+		return nil, fmt.Errorf("fl: no client holds data")
+	}
+
+	rootRNG := rand.New(rand.NewSource(cfg.Seed))
+	global := cfg.Arch.Build(rootRNG)
+	globalW := global.GetWeights()
+	version := 0
+
+	for _, c := range active {
+		c.net = cfg.Arch.Build(rootRNG)
+		c.opt = nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+		c.rng = rand.New(rand.NewSource(cfg.Seed + int64(c.ID)*7919 + 1))
+	}
+
+	hist := &AsyncHistory{UpdatesPerClient: make([]int, len(clients))}
+	stalenessSum := 0.0
+	modelBytes := cfg.Arch.SizeBytes()
+	deadline := cfg.Duration
+	if deadline <= 0 {
+		deadline = math.Inf(1)
+	}
+
+	var engine sim.Engine
+	done := func() bool {
+		return (cfg.MaxUpdates > 0 && hist.Updates >= cfg.MaxUpdates) || engine.Now() > deadline
+	}
+
+	// cycle runs one client iteration: the closure chain mirrors the
+	// download → train → upload pipeline in virtual time.
+	var cycle func(c *Client)
+	cycle = func(c *Client) {
+		if done() {
+			return
+		}
+		versionAtPull := version
+		pulled := cloneWeights(globalW)
+		commDown := c.Link.DownloadTime(modelBytes)
+		engine.After(commDown, func() {
+			if done() {
+				return
+			}
+			// Local epoch: real gradient descent plus simulated time.
+			c.net.SetWeights(pulled)
+			c.opt.Reset()
+			c.Local.Shuffle(c.rng)
+			n := c.Local.Len()
+			for i := 0; i < n; i += cfg.BatchSize {
+				end := i + cfg.BatchSize
+				if end > n {
+					end = n
+				}
+				x, y := c.Local.Batch(i, end)
+				c.net.TrainBatch(x, y)
+				c.opt.Step(c.net.Params())
+			}
+			compute := 0.0
+			if c.Device != nil {
+				compute, _ = c.Device.TrainSamples(cfg.Arch, n, cfg.BatchSize)
+				c.Device.Idle(c.Link.UploadTime(modelBytes))
+			}
+			engine.After(compute+c.Link.UploadTime(modelBytes), func() {
+				if done() {
+					return
+				}
+				// Server merge with staleness damping.
+				staleness := float64(version - versionAtPull)
+				eta := cfg.MixRate / math.Pow(1+staleness, cfg.StalenessPower)
+				w := c.net.GetWeights()
+				for i := range globalW {
+					globalW[i].Scale(1 - eta)
+					globalW[i].AddScaled(eta, w[i])
+				}
+				version++
+				hist.Updates++
+				hist.UpdatesPerClient[clientIndex(clients, c.ID)]++
+				stalenessSum += staleness
+				cycle(c) // immediately start the next iteration
+			})
+		})
+	}
+
+	for _, c := range active {
+		cycle(c)
+	}
+	if math.IsInf(deadline, 1) {
+		// Unbounded duration: run events until MaxUpdates hits; remaining
+		// callbacks see done() and no-op.
+		for engine.Pending() > 0 && !done() {
+			engine.Step()
+		}
+	} else {
+		engine.RunUntil(deadline)
+	}
+
+	hist.VirtualSeconds = engine.Now()
+	if hist.Updates > 0 {
+		hist.MeanStaleness = stalenessSum / float64(hist.Updates)
+	}
+	global.SetWeights(globalW)
+	if test != nil {
+		hist.FinalAccuracy = Evaluate(global, test, 256)
+	}
+	for _, c := range active {
+		if c.Device != nil {
+			hist.TotalEnergyJ += c.Device.EnergyJ
+		}
+	}
+	return hist, nil
+}
+
+func cloneWeights(ws []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ws))
+	for i, w := range ws {
+		out[i] = w.Clone()
+	}
+	return out
+}

@@ -1,0 +1,374 @@
+// Package fl is the synchronous federated-learning engine: a parameter
+// server aggregating FedAvg updates from simulated mobile clients. Each
+// round, every participant downloads the global model, trains one local
+// epoch over its assigned data, and uploads its weights; the server takes
+// the sample-weighted average (McMahan et al. [2]). Round wall time is the
+// makespan over participants of simulated computation (device package)
+// plus communication (network package); model quality comes from real
+// gradient descent on the nn package.
+package fl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedsched/internal/data"
+	"fedsched/internal/device"
+	"fedsched/internal/metrics"
+	"fedsched/internal/network"
+	"fedsched/internal/nn"
+	"fedsched/internal/tensor"
+)
+
+// Client is one federated participant.
+type Client struct {
+	ID     int
+	Name   string
+	Device *device.Device // nil disables time simulation for this client
+	Link   network.Link
+	Local  *data.Dataset // local training data (nil or empty → skipped)
+
+	net   *nn.Network
+	opt   *nn.SGD
+	rng   *rand.Rand
+	round int // rounds this client has trained (drives LR schedules)
+}
+
+// NewClient constructs a client. dev may be nil when only accuracy (not
+// time) is being measured.
+func NewClient(id int, name string, dev *device.Device, link network.Link, local *data.Dataset) *Client {
+	return &Client{ID: id, Name: name, Device: dev, Link: link, Local: local}
+}
+
+// Config drives a federated run.
+type Config struct {
+	Arch      *nn.Arch
+	Rounds    int
+	BatchSize int
+	LR        float64
+	Momentum  float64
+	// Seed makes the whole run deterministic (init, shuffles, dropout).
+	Seed int64
+	// EvalEvery evaluates test accuracy every k rounds (and always on the
+	// final round). Zero means final-round only.
+	EvalEvery int
+	// SecureAgg aggregates client updates through pairwise-mask secure
+	// aggregation (internal/secagg) instead of plaintext averaging — the
+	// protection the paper's system model assumes (§IV-A). The server then
+	// sees only the weighted sum, never an individual update. Costs one
+	// fixed-point quantization (~2⁻²⁴ per weight) per round.
+	SecureAgg bool
+	// DeadlineSeconds, when positive, drops any participant whose
+	// compute+comm time exceeds it from that round's aggregation — the
+	// hard straggler dropout of Bonawitz et al. [5] that the paper
+	// criticizes for "not attempting to make best use from their data"
+	// (§II-B). The round's makespan is then capped at the deadline.
+	DeadlineSeconds float64
+	// LRSchedule, when set, overrides LR per round (see nn.StepDecayLR,
+	// nn.CosineLR).
+	LRSchedule nn.LRSchedule
+}
+
+func (c Config) withDefaults() Config {
+	if c.BatchSize <= 0 {
+		c.BatchSize = 20
+	}
+	if c.LR <= 0 {
+		c.LR = 0.05
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+	return c
+}
+
+// ClientRound records one client's contribution to a round.
+type ClientRound struct {
+	ClientID    int
+	Samples     int
+	ComputeS    float64
+	CommS       float64
+	TrainLoss   float64
+	EnergyJ     float64
+	Temperature float64
+	// Dropped marks a participant cut by the round deadline; its update
+	// was discarded.
+	Dropped bool
+	// Diverged marks a participant whose local update contained non-finite
+	// weights (exploding gradients); the server rejects such updates — the
+	// fault-tolerance concern of Smith et al. [10].
+	Diverged bool
+}
+
+// RoundStats aggregates one synchronous round.
+type RoundStats struct {
+	Round     int
+	Makespan  float64 // max participant compute+comm seconds
+	TrainLoss float64 // sample-weighted mean local loss
+	Accuracy  float64 // test accuracy (NaN when not evaluated)
+	Clients   []ClientRound
+}
+
+// History is the result of a federated run.
+type History struct {
+	Rounds        []RoundStats
+	FinalAccuracy float64
+	// Confusion is the final model's confusion matrix on the test set
+	// (nil when no test set was given).
+	Confusion *metrics.Confusion
+	// Model is the final global model (checkpoint it with
+	// Model.SaveWeights).
+	Model        *nn.Network
+	TotalSeconds float64 // Σ round makespans
+	TotalEnergyJ float64
+}
+
+// Run executes synchronous FedAvg. test may be nil to skip evaluation.
+func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Arch == nil {
+		return nil, fmt.Errorf("fl: no architecture")
+	}
+	if len(clients) == 0 {
+		return nil, fmt.Errorf("fl: no clients")
+	}
+	anyData := false
+	for _, c := range clients {
+		if c.Local != nil && c.Local.Len() > 0 {
+			anyData = true
+		}
+	}
+	if !anyData {
+		return nil, fmt.Errorf("fl: no client holds data")
+	}
+
+	rootRNG := rand.New(rand.NewSource(cfg.Seed))
+	global := cfg.Arch.Build(rootRNG)
+	for _, c := range clients {
+		c.net = cfg.Arch.Build(rootRNG) // geometry clone; weights overwritten
+		c.opt = nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+		c.rng = rand.New(rand.NewSource(cfg.Seed + int64(c.ID)*7919 + 1))
+	}
+
+	modelBytes := cfg.Arch.SizeBytes()
+	hist := &History{}
+	globalW := global.GetWeights()
+
+	for round := 0; round < cfg.Rounds; round++ {
+		stats := RoundStats{Round: round}
+		var (
+			sumW         []*tensor.Tensor
+			total        int
+			lossSum      float64
+			participants []*Client
+			sampleCounts []int
+		)
+		for _, c := range clients {
+			if c.Local == nil || c.Local.Len() == 0 {
+				continue
+			}
+			cr := c.trainRound(cfg, globalW, modelBytes)
+			if hasNonFinite(c.net) {
+				cr.Diverged = true
+				stats.Clients = append(stats.Clients, cr)
+				continue
+			}
+			span := cr.ComputeS + cr.CommS
+			if cfg.DeadlineSeconds > 0 && span > cfg.DeadlineSeconds {
+				// Hard dropout: the update is discarded; the round does
+				// not wait past the deadline.
+				cr.Dropped = true
+				stats.Clients = append(stats.Clients, cr)
+				if cfg.DeadlineSeconds > stats.Makespan {
+					stats.Makespan = cfg.DeadlineSeconds
+				}
+				continue
+			}
+			stats.Clients = append(stats.Clients, cr)
+			if span > stats.Makespan {
+				stats.Makespan = span
+			}
+			lossSum += cr.TrainLoss * float64(cr.Samples)
+			participants = append(participants, c)
+			sampleCounts = append(sampleCounts, cr.Samples)
+			total += cr.Samples
+			if cfg.SecureAgg {
+				continue // aggregation happens through secureRound below
+			}
+			// Weighted plaintext accumulation of the client's weights.
+			w := c.net.GetWeights()
+			if sumW == nil {
+				sumW = make([]*tensor.Tensor, len(w))
+				for i, t := range w {
+					scaled := t.Clone()
+					scaled.Scale(float64(cr.Samples))
+					sumW[i] = scaled
+				}
+			} else {
+				for i, t := range w {
+					sumW[i].AddScaled(float64(cr.Samples), t)
+				}
+			}
+		}
+		if total == 0 {
+			if cfg.DeadlineSeconds > 0 {
+				// Every participant missed the deadline: a wasted round,
+				// not an error. The global model stands.
+				stats.TrainLoss = math.NaN()
+				stats.Accuracy = -1
+				hist.Rounds = append(hist.Rounds, stats)
+				hist.TotalSeconds += stats.Makespan
+				continue
+			}
+			return nil, fmt.Errorf("fl: round %d had no participants", round)
+		}
+		if cfg.SecureAgg {
+			agg, err := secureRound(global, participants, sampleCounts)
+			if err != nil {
+				return nil, err
+			}
+			globalW = agg
+		} else {
+			inv := 1 / float64(total)
+			for _, t := range sumW {
+				t.Scale(inv)
+			}
+			globalW = sumW
+		}
+		stats.TrainLoss = lossSum / float64(total)
+
+		// Idle the devices for the rest of the round so stragglers' heat
+		// and fast devices' cooling evolve realistically.
+		for _, cr := range stats.Clients {
+			c := clients[clientIndex(clients, cr.ClientID)]
+			if c.Device != nil {
+				c.Device.Idle(stats.Makespan - cr.ComputeS - cr.CommS)
+			}
+		}
+
+		evalNow := test != nil && (round == cfg.Rounds-1 || (cfg.EvalEvery > 0 && (round+1)%cfg.EvalEvery == 0))
+		if evalNow {
+			global.SetWeights(globalW)
+			stats.Accuracy = Evaluate(global, test, 256)
+		} else {
+			stats.Accuracy = -1
+		}
+		hist.Rounds = append(hist.Rounds, stats)
+		hist.TotalSeconds += stats.Makespan
+	}
+
+	global.SetWeights(globalW)
+	hist.Model = global
+	if test != nil {
+		// Evaluate the final model directly: the last round may not have
+		// evaluated (all-dropped deadline rounds report -1).
+		hist.Confusion = EvaluateConfusion(global, test, 256)
+		hist.FinalAccuracy = hist.Confusion.Accuracy()
+	}
+	for _, c := range clients {
+		if c.Device != nil {
+			hist.TotalEnergyJ += c.Device.EnergyJ
+		}
+	}
+	return hist, nil
+}
+
+func clientIndex(clients []*Client, id int) int {
+	for i, c := range clients {
+		if c.ID == id {
+			return i
+		}
+	}
+	panic("fl: unknown client id")
+}
+
+// trainRound runs one local epoch on the client and returns its stats.
+func (c *Client) trainRound(cfg Config, globalW []*tensor.Tensor, modelBytes int) ClientRound {
+	c.net.SetWeights(globalW)
+	c.opt.Reset()
+	if cfg.LRSchedule != nil {
+		c.opt.LR = cfg.LRSchedule(c.round)
+	}
+	c.round++
+	c.Local.Shuffle(c.rng)
+
+	n := c.Local.Len()
+	lossSum := 0.0
+	batches := 0
+	for i := 0; i < n; i += cfg.BatchSize {
+		end := i + cfg.BatchSize
+		if end > n {
+			end = n
+		}
+		x, y := c.Local.Batch(i, end)
+		lossSum += c.net.TrainBatch(x, y)
+		c.opt.Step(c.net.Params())
+		batches++
+	}
+
+	cr := ClientRound{ClientID: c.ID, Samples: n, TrainLoss: lossSum / float64(batches)}
+	if c.Device != nil {
+		e0 := c.Device.EnergyJ
+		cr.ComputeS, _ = c.Device.TrainSamples(cfg.Arch, n, cfg.BatchSize)
+		cr.CommS = c.Link.RoundTripTime(modelBytes)
+		cr.EnergyJ = c.Device.EnergyJ - e0
+		cr.Temperature = c.Device.TempC
+	}
+	return cr
+}
+
+// EvaluateConfusion runs the model over the test set and returns the full
+// confusion matrix (per-class recall/precision for the outlier analyses).
+func EvaluateConfusion(net *nn.Network, test *data.Dataset, batch int) *metrics.Confusion {
+	if batch <= 0 {
+		batch = 256
+	}
+	c := metrics.NewConfusion(test.Classes)
+	for i := 0; i < test.Len(); i += batch {
+		end := i + batch
+		if end > test.Len() {
+			end = test.Len()
+		}
+		x, y := test.Batch(i, end)
+		c.Add(y, net.Predict(x))
+	}
+	return c
+}
+
+// Evaluate computes test accuracy in batches of at most batch samples.
+func Evaluate(net *nn.Network, test *data.Dataset, batch int) float64 {
+	if test.Len() == 0 {
+		return 0
+	}
+	if batch <= 0 {
+		batch = 256
+	}
+	correct := 0
+	for i := 0; i < test.Len(); i += batch {
+		end := i + batch
+		if end > test.Len() {
+			end = test.Len()
+		}
+		x, y := test.Batch(i, end)
+		pred := net.Predict(x)
+		for k, p := range pred {
+			if p == y[k] {
+				correct++
+			}
+		}
+	}
+	return float64(correct) / float64(test.Len())
+}
+
+// hasNonFinite reports whether any weight of the network is NaN or ±Inf.
+func hasNonFinite(net *nn.Network) bool {
+	for _, p := range net.Params() {
+		for _, v := range p.W.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,187 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsched/internal/data"
+	"fedsched/internal/nn"
+)
+
+// Topology selects the gossip communication pattern.
+type Topology int
+
+const (
+	// Ring pairs each client with its successor, alternating even/odd
+	// offsets per round so information flows both ways.
+	Ring Topology = iota
+	// RandomPairs draws a fresh random perfect matching each round.
+	RandomPairs
+)
+
+// String implements fmt.Stringer.
+func (t Topology) String() string {
+	switch t {
+	case Ring:
+		return "ring"
+	case RandomPairs:
+		return "random-pairs"
+	}
+	return fmt.Sprintf("Topology(%d)", int(t))
+}
+
+// GossipConfig drives a decentralized run: there is no parameter server;
+// each round clients train locally and then average weights pairwise with
+// a peer (decentralized parallel SGD in the style of Lian et al. [8],
+// which the paper's system model says the framework is amenable to,
+// §IV-A).
+type GossipConfig struct {
+	Config
+	Topology Topology
+}
+
+// GossipHistory summarizes a decentralized run.
+type GossipHistory struct {
+	Rounds       int
+	MeanAccuracy float64   // mean over client models
+	BestAccuracy float64   // best single client model
+	Disagreement float64   // mean max |w_i − w_j| over weights, final round
+	PerClient    []float64 // final per-client accuracy
+	TotalSeconds float64   // Σ round makespans (compute + peer exchange)
+}
+
+// RunGossip executes decentralized training. test may be nil (accuracy
+// fields stay zero).
+func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*GossipHistory, error) {
+	cfg.Config = cfg.Config.withDefaults()
+	if cfg.Arch == nil {
+		return nil, fmt.Errorf("fl: no architecture")
+	}
+	var active []*Client
+	for _, c := range clients {
+		if c.Local != nil && c.Local.Len() > 0 {
+			active = append(active, c)
+		}
+	}
+	if len(active) < 2 {
+		return nil, fmt.Errorf("fl: gossip needs ≥2 clients with data, have %d", len(active))
+	}
+
+	rootRNG := rand.New(rand.NewSource(cfg.Seed))
+	init := cfg.Arch.Build(rootRNG).GetWeights()
+	for _, c := range active {
+		c.net = cfg.Arch.Build(rootRNG)
+		c.net.SetWeights(init)
+		c.opt = nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+		c.rng = rand.New(rand.NewSource(cfg.Seed + int64(c.ID)*7919 + 1))
+	}
+
+	hist := &GossipHistory{Rounds: cfg.Rounds}
+	pairRNG := rand.New(rand.NewSource(cfg.Seed + 13))
+	modelBytes := cfg.Arch.SizeBytes()
+
+	for round := 0; round < cfg.Rounds; round++ {
+		makespan := 0.0
+		spans := make([]float64, len(active))
+		for i, c := range active {
+			c.opt.Reset()
+			c.Local.Shuffle(c.rng)
+			n := c.Local.Len()
+			for s := 0; s < n; s += cfg.BatchSize {
+				end := s + cfg.BatchSize
+				if end > n {
+					end = n
+				}
+				x, y := c.Local.Batch(s, end)
+				c.net.TrainBatch(x, y)
+				c.opt.Step(c.net.Params())
+			}
+			if c.Device != nil {
+				comp, _ := c.Device.TrainSamples(cfg.Arch, n, cfg.BatchSize)
+				// Peer exchange: send own model, receive the peer's.
+				spans[i] = comp + c.Link.UploadTime(modelBytes) + c.Link.DownloadTime(modelBytes)
+			}
+			if spans[i] > makespan {
+				makespan = spans[i]
+			}
+		}
+		for i, c := range active {
+			if c.Device != nil {
+				c.Device.Idle(makespan - spans[i])
+			}
+		}
+		hist.TotalSeconds += makespan
+
+		// Pairwise averaging.
+		for _, pair := range pairings(len(active), round, cfg.Topology, pairRNG) {
+			a, b := active[pair[0]], active[pair[1]]
+			wa, wb := a.net.GetWeights(), b.net.GetWeights()
+			for k := range wa {
+				wa[k].Add(wb[k])
+				wa[k].Scale(0.5)
+			}
+			a.net.SetWeights(wa)
+			b.net.SetWeights(wa)
+		}
+	}
+
+	hist.Disagreement = weightDisagreement(active)
+	if test != nil {
+		hist.PerClient = make([]float64, len(active))
+		for i, c := range active {
+			acc := Evaluate(c.net, test, 256)
+			hist.PerClient[i] = acc
+			hist.MeanAccuracy += acc
+			if acc > hist.BestAccuracy {
+				hist.BestAccuracy = acc
+			}
+		}
+		hist.MeanAccuracy /= float64(len(active))
+	}
+	return hist, nil
+}
+
+// pairings returns index pairs for the round under the chosen topology.
+// With an odd client count one client sits the round out.
+func pairings(n, round int, topo Topology, rng *rand.Rand) [][2]int {
+	var out [][2]int
+	switch topo {
+	case RandomPairs:
+		perm := rng.Perm(n)
+		for i := 0; i+1 < n; i += 2 {
+			out = append(out, [2]int{perm[i], perm[i+1]})
+		}
+	default: // Ring
+		// Alternate the pairing offset so averages propagate around the
+		// ring: round 0 pairs (0,1)(2,3)…, round 1 pairs (1,2)(3,4)…
+		start := round % 2
+		for i := start; i+1 < n; i += 2 {
+			out = append(out, [2]int{i, i + 1})
+		}
+		if start == 1 && n%2 == 0 {
+			out = append(out, [2]int{n - 1, 0}) // close the ring
+		}
+	}
+	return out
+}
+
+// weightDisagreement reports the largest per-weight spread across client
+// models (0 when fully converged to consensus).
+func weightDisagreement(clients []*Client) float64 {
+	if len(clients) < 2 {
+		return 0
+	}
+	ref := clients[0].net.GetWeights()
+	worst := 0.0
+	for _, c := range clients[1:] {
+		w := c.net.GetWeights()
+		for k := range ref {
+			diff := ref[k].Clone()
+			diff.AddScaled(-1, w[k])
+			if m := diff.MaxAbs(); m > worst {
+				worst = m
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,108 @@
+package fl
+
+import (
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/data"
+	"fedsched/internal/network"
+)
+
+func TestGossipLearnsOnIID(t *testing.T) {
+	train, test := data.TrainTest(data.SMNISTConfig(0, 71), 800, 300)
+	clients := asyncClients(t, train, 4, true)
+	hist, err := RunGossip(GossipConfig{Config: smallConfig(8), Topology: Ring}, clients, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.MeanAccuracy < 0.7 {
+		t.Fatalf("gossip mean accuracy %.3f too low", hist.MeanAccuracy)
+	}
+	if hist.BestAccuracy < hist.MeanAccuracy {
+		t.Fatal("best accuracy below mean")
+	}
+	if hist.TotalSeconds <= 0 {
+		t.Fatal("no simulated time")
+	}
+	if len(hist.PerClient) != 4 {
+		t.Fatalf("%d per-client accuracies", len(hist.PerClient))
+	}
+}
+
+func TestGossipRandomPairsTopology(t *testing.T) {
+	train, test := data.TrainTest(data.SMNISTConfig(0, 72), 600, 200)
+	clients := asyncClients(t, train, 4, false)
+	hist, err := RunGossip(GossipConfig{Config: smallConfig(6), Topology: RandomPairs}, clients, test)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist.MeanAccuracy < 0.6 {
+		t.Fatalf("random-pairs gossip accuracy %.3f", hist.MeanAccuracy)
+	}
+}
+
+func TestGossipDisagreementShrinksWithRounds(t *testing.T) {
+	train, _ := data.TrainTest(data.SMNISTConfig(0, 73), 600, 10)
+	short, err := RunGossip(GossipConfig{Config: smallConfig(1), Topology: Ring},
+		asyncClients(t, train, 4, false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	long, err := RunGossip(GossipConfig{Config: smallConfig(10), Topology: Ring},
+		asyncClients(t, train, 4, false), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// After one round half the ring never mixed; after many rounds the
+	// models should be much closer to consensus relative to short runs.
+	if long.Disagreement >= short.Disagreement {
+		t.Fatalf("disagreement did not shrink: 1 round %.4f vs 10 rounds %.4f",
+			short.Disagreement, long.Disagreement)
+	}
+}
+
+func TestGossipNeedsTwoClients(t *testing.T) {
+	train, _ := data.TrainTest(data.SMNISTConfig(0, 74), 100, 10)
+	c := NewClient(0, "solo", nil, network.WiFi(), train)
+	if _, err := RunGossip(GossipConfig{Config: smallConfig(1)}, []*Client{c}, nil); err == nil {
+		t.Fatal("expected error with one client")
+	}
+	if _, err := RunGossip(GossipConfig{}, nil, nil); err == nil {
+		t.Fatal("expected error without arch")
+	}
+}
+
+func TestPairingsCoverage(t *testing.T) {
+	// Ring with even n: every client pairs over two consecutive rounds.
+	seen := map[int]bool{}
+	for round := 0; round < 2; round++ {
+		for _, p := range pairings(4, round, Ring, nil) {
+			seen[p[0]] = true
+			seen[p[1]] = true
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if !seen[i] {
+			t.Fatalf("client %d never paired on the ring", i)
+		}
+	}
+	// Odd n: one client sits out, no index out of range, no duplicates.
+	for _, topo := range []Topology{Ring, RandomPairs} {
+		pairs := pairings(5, 0, topo, newTestRand())
+		used := map[int]bool{}
+		for _, p := range pairs {
+			if p[0] < 0 || p[0] >= 5 || p[1] < 0 || p[1] >= 5 {
+				t.Fatalf("%v: pair out of range %v", topo, p)
+			}
+			if used[p[0]] || used[p[1]] {
+				t.Fatalf("%v: client paired twice in one round", topo)
+			}
+			used[p[0]], used[p[1]] = true, true
+		}
+	}
+	if Ring.String() != "ring" || RandomPairs.String() != "random-pairs" || Topology(9).String() == "" {
+		t.Fatal("Topology.String broken")
+	}
+}
+
+func newTestRand() *rand.Rand { return rand.New(rand.NewSource(1)) }

@@ -1,0 +1,98 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsched/internal/data"
+	"fedsched/internal/device"
+	"fedsched/internal/network"
+	"fedsched/internal/nn"
+)
+
+// Centralized trains one model on the full dataset for the given number of
+// epochs — the paper's centralized-learning reference in Fig 2.
+func Centralized(cfg Config, train, test *data.Dataset) (float64, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Arch == nil {
+		return 0, fmt.Errorf("fl: no architecture")
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	net := cfg.Arch.Build(rng)
+	opt := nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+	local := train.Subset(seq(train.Len())) // private copy; Run shuffles in place
+	for e := 0; e < cfg.Rounds; e++ {
+		local.Shuffle(rng)
+		for i := 0; i < local.Len(); i += cfg.BatchSize {
+			end := i + cfg.BatchSize
+			if end > local.Len() {
+				end = local.Len()
+			}
+			x, y := local.Batch(i, end)
+			net.TrainBatch(x, y)
+			opt.Step(net.Params())
+		}
+	}
+	return Evaluate(net, test, 256), nil
+}
+
+func seq(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// BuildClients wires devices, links and per-user datasets into clients.
+// devices[i] may be nil (no time simulation). All slices must have equal
+// length.
+func BuildClients(devices []*device.Device, links []network.Link, datasets []*data.Dataset) ([]*Client, error) {
+	if len(devices) != len(datasets) || len(links) != len(datasets) {
+		return nil, fmt.Errorf("fl: mismatched lengths: %d devices, %d links, %d datasets",
+			len(devices), len(links), len(datasets))
+	}
+	clients := make([]*Client, len(datasets))
+	for i := range datasets {
+		name := fmt.Sprintf("client-%d", i)
+		if devices[i] != nil {
+			name = fmt.Sprintf("%s-%d", devices[i].Model, i)
+		}
+		clients[i] = NewClient(i, name, devices[i], links[i], datasets[i])
+	}
+	return clients, nil
+}
+
+// SimulateRounds computes per-round makespans for the given per-user
+// sample counts without training any model: devices simulate computation
+// (with persistent thermal state across rounds) and links add the model
+// transfer time. This is what the computation-time experiments (Figs 5, 7)
+// measure; accuracy experiments use Run instead.
+func SimulateRounds(arch *nn.Arch, devices []*device.Device, links []network.Link, samples []int, batch, rounds int) ([]float64, error) {
+	if len(devices) != len(samples) || len(links) != len(samples) {
+		return nil, fmt.Errorf("fl: mismatched lengths: %d devices, %d links, %d sample counts",
+			len(devices), len(links), len(samples))
+	}
+	bytes := arch.SizeBytes()
+	spans := make([]float64, 0, rounds)
+	for r := 0; r < rounds; r++ {
+		makespan := 0.0
+		times := make([]float64, len(devices))
+		for i, dev := range devices {
+			if samples[i] <= 0 {
+				continue
+			}
+			comp, _ := dev.TrainSamples(arch, samples[i], batch)
+			t := comp + links[i].RoundTripTime(bytes)
+			times[i] = t
+			if t > makespan {
+				makespan = t
+			}
+		}
+		for i, dev := range devices {
+			dev.Idle(makespan - times[i])
+		}
+		spans = append(spans, makespan)
+	}
+	return spans, nil
+}

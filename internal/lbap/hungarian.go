@@ -1,0 +1,91 @@
+package lbap
+
+import (
+	"fmt"
+	"math"
+)
+
+// SolveMinSum solves the classic (min-sum) assignment problem the paper
+// contrasts LBAP with (§V-A: "The classic assignment problem finds an
+// optimal assignment of workers to tasks with minimum sum of cost") using
+// the O(n³) shortest-augmenting-path Hungarian algorithm. cost[i][j] is
+// the cost of giving task i to worker j; it returns the minimal total cost
+// and the assignment task→worker.
+func SolveMinSum(cost [][]float64) (float64, []int, error) {
+	n := len(cost)
+	if n == 0 {
+		return 0, nil, fmt.Errorf("lbap: empty cost matrix")
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return 0, nil, fmt.Errorf("lbap: row %d has %d entries, want %d", i, len(row), n)
+		}
+		for _, v := range row {
+			if math.IsNaN(v) {
+				return 0, nil, fmt.Errorf("lbap: NaN cost")
+			}
+		}
+	}
+
+	// 1-indexed potentials and matching, the standard formulation.
+	const inf = math.MaxFloat64
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	p := make([]int, n+1) // p[j] = task assigned to worker j (0 = none)
+	way := make([]int, n+1)
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost[i0-1][j-1] - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	assign := make([]int, n)
+	total := 0.0
+	for j := 1; j <= n; j++ {
+		assign[p[j]-1] = j - 1
+		total += cost[p[j]-1][j-1]
+	}
+	return total, assign, nil
+}

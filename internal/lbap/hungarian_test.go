@@ -1,0 +1,159 @@
+package lbap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func bruteMinSum(cost [][]float64) float64 {
+	n := len(cost)
+	used := make([]bool, n)
+	best := math.Inf(1)
+	var rec func(i int, cur float64)
+	rec = func(i int, cur float64) {
+		// No pruning: with negative costs a partial sum can exceed the
+		// final optimum.
+		if i == n {
+			if cur < best {
+				best = cur
+			}
+			return
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] {
+				used[j] = true
+				rec(i+1, cur+cost[i][j])
+				used[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestMinSumKnown(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	total, assign, err := SolveMinSum(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 { // 1 + 2 + 2
+		t.Fatalf("total %v, want 5", total)
+	}
+	seen := map[int]bool{}
+	sum := 0.0
+	for i, j := range assign {
+		if seen[j] {
+			t.Fatal("duplicate worker")
+		}
+		seen[j] = true
+		sum += cost[i][j]
+	}
+	if sum != total {
+		t.Fatalf("assignment sums to %v, reported %v", sum, total)
+	}
+}
+
+func TestMinSumSingle(t *testing.T) {
+	total, assign, err := SolveMinSum([][]float64{{3.5}})
+	if err != nil || total != 3.5 || assign[0] != 0 {
+		t.Fatalf("total=%v assign=%v err=%v", total, assign, err)
+	}
+}
+
+func TestMinSumErrors(t *testing.T) {
+	if _, _, err := SolveMinSum(nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, _, err := SolveMinSum([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("ragged accepted")
+	}
+	if _, _, err := SolveMinSum([][]float64{{math.NaN()}}); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}
+
+func TestMinSumNegativeCosts(t *testing.T) {
+	cost := [][]float64{
+		{-5, 2},
+		{3, -4},
+	}
+	total, _, err := SolveMinSum(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != -9 {
+		t.Fatalf("total %v, want -9", total)
+	}
+}
+
+func TestMinSumMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64()*200-50) / 10
+			}
+		}
+		total, assign, err := SolveMinSum(cost)
+		if err != nil {
+			return false
+		}
+		seen := map[int]bool{}
+		sum := 0.0
+		for i, j := range assign {
+			if seen[j] {
+				return false
+			}
+			seen[j] = true
+			sum += cost[i][j]
+		}
+		return math.Abs(sum-total) < 1e-9 && math.Abs(total-bruteMinSum(cost)) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The bottleneck solution's max edge never exceeds the min-sum solution's
+// max edge (LBAP optimizes the bottleneck directly).
+func TestBottleneckBeatsMinSumOnMaxEdgeProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(5)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = rng.Float64() * 10
+			}
+		}
+		bottleneck, _, err := Solve(cost)
+		if err != nil {
+			return false
+		}
+		_, assign, err := SolveMinSum(cost)
+		if err != nil {
+			return false
+		}
+		maxEdge := 0.0
+		for i, j := range assign {
+			if cost[i][j] > maxEdge {
+				maxEdge = cost[i][j]
+			}
+		}
+		return bottleneck <= maxEdge+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,80 @@
+// Package lbap solves the classic Linear Bottleneck Assignment Problem with
+// the thresholding algorithm of Burkard, Dell'Amico and Martello [23]:
+// binary-search the sorted cost values and test each threshold for a
+// perfect matching with Hopcroft–Karp (O(n^{5/2} log n) overall). The
+// paper's Fed-LBAP generalizes this to joint partitioning+assignment;
+// this classic solver is kept as a reference baseline and test oracle.
+package lbap
+
+import (
+	"fmt"
+	"sort"
+
+	"fedsched/internal/matching"
+)
+
+// Solve assigns each of n workers one of n tasks (cost[i][j] = cost of task
+// i on worker j) minimizing the maximum selected cost. It returns the
+// bottleneck value and assignment (task i → worker assign[i]).
+func Solve(cost [][]float64) (float64, []int, error) {
+	n := len(cost)
+	if n == 0 {
+		return 0, nil, fmt.Errorf("lbap: empty cost matrix")
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return 0, nil, fmt.Errorf("lbap: row %d has %d entries, want %d (square matrix required)", i, len(row), n)
+		}
+	}
+	// Collect and sort the distinct cost values.
+	values := make([]float64, 0, n*n)
+	for _, row := range cost {
+		values = append(values, row...)
+	}
+	sort.Float64s(values)
+	values = dedup(values)
+
+	feasible := func(c float64) (bool, []int) {
+		adj := make([][]int, n)
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if cost[i][j] <= c {
+					adj[i] = append(adj[i], j)
+				}
+			}
+		}
+		size, matchL := matching.HopcroftKarp(n, n, adj)
+		return size == n, matchL
+	}
+
+	lo, hi := 0, len(values)-1
+	best := values[hi]
+	var bestMatch []int
+	if ok, m := feasible(best); !ok {
+		_ = m
+		return 0, nil, fmt.Errorf("lbap: no perfect matching exists")
+	} else {
+		bestMatch = m
+	}
+	for lo <= hi {
+		mid := (lo + hi) / 2
+		if ok, m := feasible(values[mid]); ok {
+			best = values[mid]
+			bestMatch = m
+			hi = mid - 1
+		} else {
+			lo = mid + 1
+		}
+	}
+	return best, bestMatch, nil
+}
+
+func dedup(sorted []float64) []float64 {
+	out := sorted[:0]
+	for i, v := range sorted {
+		if i == 0 || v != sorted[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

@@ -1,0 +1,109 @@
+package lbap
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteBottleneck enumerates all permutations (oracle for small n).
+func bruteBottleneck(cost [][]float64) float64 {
+	n := len(cost)
+	used := make([]bool, n)
+	best := math.Inf(1)
+	var rec func(i int, cur float64)
+	rec = func(i int, cur float64) {
+		if cur >= best {
+			return
+		}
+		if i == n {
+			best = cur
+			return
+		}
+		for j := 0; j < n; j++ {
+			if !used[j] {
+				used[j] = true
+				rec(i+1, math.Max(cur, cost[i][j]))
+				used[j] = false
+			}
+		}
+	}
+	rec(0, 0)
+	return best
+}
+
+func TestKnownInstance(t *testing.T) {
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	v, assign, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 2 { // (0→1:1, 1→0:2, 2→2:2) bottleneck 2
+		t.Fatalf("bottleneck %v, want 2", v)
+	}
+	seen := map[int]bool{}
+	worst := 0.0
+	for i, j := range assign {
+		if seen[j] {
+			t.Fatal("worker assigned twice")
+		}
+		seen[j] = true
+		worst = math.Max(worst, cost[i][j])
+	}
+	if worst != v {
+		t.Fatalf("assignment bottleneck %v != reported %v", worst, v)
+	}
+}
+
+func TestSingleElement(t *testing.T) {
+	v, assign, err := Solve([][]float64{{7}})
+	if err != nil || v != 7 || assign[0] != 0 {
+		t.Fatalf("v=%v assign=%v err=%v", v, assign, err)
+	}
+}
+
+func TestErrorsOnBadInput(t *testing.T) {
+	if _, _, err := Solve(nil); err == nil {
+		t.Fatal("expected error on empty matrix")
+	}
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("expected error on ragged matrix")
+	}
+}
+
+func TestMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				cost[i][j] = math.Floor(rng.Float64()*100) / 10
+			}
+		}
+		v, assign, err := Solve(cost)
+		if err != nil {
+			return false
+		}
+		// Assignment must realize the reported bottleneck.
+		worst := 0.0
+		seen := map[int]bool{}
+		for i, j := range assign {
+			if seen[j] {
+				return false
+			}
+			seen[j] = true
+			worst = math.Max(worst, cost[i][j])
+		}
+		return worst == v && v == bruteBottleneck(cost)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+// Package matching implements Hopcroft–Karp maximum bipartite matching.
+// The classic LBAP thresholding algorithm (Burkard et al. [23]) repeatedly
+// tests for a perfect matching; Fed-LBAP avoids that test via Property 2,
+// so this package serves as the reference solver's engine and as a test
+// oracle.
+package matching
+
+// HopcroftKarp computes a maximum matching of the bipartite graph with
+// nLeft left vertices and nRight right vertices, where adj[u] lists the
+// right neighbours of left vertex u. It returns the matching size and the
+// per-left-vertex match (−1 when unmatched), in O(E·√V).
+func HopcroftKarp(nLeft, nRight int, adj [][]int) (int, []int) {
+	const inf = int(^uint(0) >> 1)
+	matchL := make([]int, nLeft)
+	matchR := make([]int, nRight)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, nLeft)
+	queue := make([]int, 0, nLeft)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == -1 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for head := 0; head < len(queue); head++ {
+			u := queue[head]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w == -1 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w == -1 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+
+	size := 0
+	for bfs() {
+		for u := 0; u < nLeft; u++ {
+			if matchL[u] == -1 && dfs(u) {
+				size++
+			}
+		}
+	}
+	return size, matchL
+}

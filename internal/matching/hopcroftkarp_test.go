@@ -1,0 +1,120 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// bruteMaxMatching enumerates assignments recursively (test oracle for
+// small graphs).
+func bruteMaxMatching(nLeft, nRight int, adj [][]int) int {
+	usedR := make([]bool, nRight)
+	var rec func(u int) int
+	rec = func(u int) int {
+		if u == nLeft {
+			return 0
+		}
+		best := rec(u + 1) // leave u unmatched
+		for _, v := range adj[u] {
+			if !usedR[v] {
+				usedR[v] = true
+				if got := 1 + rec(u+1); got > best {
+					best = got
+				}
+				usedR[v] = false
+			}
+		}
+		return best
+	}
+	return rec(0)
+}
+
+func TestPerfectMatching(t *testing.T) {
+	// Complete bipartite graph K₃,₃ has a perfect matching.
+	adj := [][]int{{0, 1, 2}, {0, 1, 2}, {0, 1, 2}}
+	size, matchL := HopcroftKarp(3, 3, adj)
+	if size != 3 {
+		t.Fatalf("size %d, want 3", size)
+	}
+	seen := map[int]bool{}
+	for _, v := range matchL {
+		if v < 0 || seen[v] {
+			t.Fatalf("invalid matching %v", matchL)
+		}
+		seen[v] = true
+	}
+}
+
+func TestNoEdges(t *testing.T) {
+	size, matchL := HopcroftKarp(3, 3, [][]int{{}, {}, {}})
+	if size != 0 {
+		t.Fatalf("size %d, want 0", size)
+	}
+	for _, v := range matchL {
+		if v != -1 {
+			t.Fatal("unmatched vertices must be -1")
+		}
+	}
+}
+
+func TestAugmentingPathNeeded(t *testing.T) {
+	// Greedy would match u0-v0 and strand u1; Hopcroft–Karp must find the
+	// augmenting path.
+	adj := [][]int{{0, 1}, {0}}
+	size, matchL := HopcroftKarp(2, 2, adj)
+	if size != 2 {
+		t.Fatalf("size %d, want 2", size)
+	}
+	if matchL[0] != 1 || matchL[1] != 0 {
+		t.Fatalf("matching %v, want [1 0]", matchL)
+	}
+}
+
+func TestUnbalancedSides(t *testing.T) {
+	adj := [][]int{{0}, {0}, {0}}
+	size, _ := HopcroftKarp(3, 1, adj)
+	if size != 1 {
+		t.Fatalf("size %d, want 1", size)
+	}
+}
+
+func TestMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nL, nR := 1+rng.Intn(7), 1+rng.Intn(7)
+		adj := make([][]int, nL)
+		for u := range adj {
+			for v := 0; v < nR; v++ {
+				if rng.Float64() < 0.4 {
+					adj[u] = append(adj[u], v)
+				}
+			}
+		}
+		size, matchL := HopcroftKarp(nL, nR, adj)
+		// Verify the matching is valid.
+		seen := map[int]bool{}
+		count := 0
+		for u, v := range matchL {
+			if v == -1 {
+				continue
+			}
+			ok := false
+			for _, w := range adj[u] {
+				if w == v {
+					ok = true
+					break
+				}
+			}
+			if !ok || seen[v] {
+				return false
+			}
+			seen[v] = true
+			count++
+		}
+		return count == size && size == bruteMaxMatching(nL, nR, adj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+// Package network models the wireless links between the parameter server
+// and the phones. The paper measures a campus-WiFi link (≈85 Mbps
+// symmetric) and a T-Mobile LTE link (≈60 Mbps uplink / 11 Mbps downlink,
+// §III-A); with those presets the simulated communication share of each
+// epoch reproduces the percentages in Table II (≈0.5–15%).
+package network
+
+import "fmt"
+
+// Link models one wireless connection with asymmetric bandwidth and a
+// fixed per-transfer latency.
+type Link struct {
+	Name     string
+	UpMbps   float64 // device → server
+	DownMbps float64 // server → device
+	RTTms    float64 // per-transfer handshake latency
+}
+
+// WiFi returns the paper's campus-WiFi preset.
+func WiFi() Link { return Link{Name: "WiFi", UpMbps: 85, DownMbps: 85, RTTms: 20} }
+
+// LTE returns the paper's T-Mobile LTE preset (−94 dBm: ~60 Mbps up,
+// ~11 Mbps down as measured in §III-A).
+func LTE() Link { return Link{Name: "LTE", UpMbps: 60, DownMbps: 11, RTTms: 60} }
+
+// String implements fmt.Stringer.
+func (l Link) String() string {
+	return fmt.Sprintf("%s(%g↑/%g↓ Mbps)", l.Name, l.UpMbps, l.DownMbps)
+}
+
+// UploadTime returns T^u(M): the seconds to push `bytes` from the device to
+// the server.
+func (l Link) UploadTime(bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes)*8/(l.UpMbps*1e6) + l.RTTms/1000
+}
+
+// DownloadTime returns T^d(M): the seconds to pull `bytes` from the server
+// to the device.
+func (l Link) DownloadTime(bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes)*8/(l.DownMbps*1e6) + l.RTTms/1000
+}
+
+// RoundTripTime returns the full per-epoch communication cost
+// T^u(M) + T^d(M) for a model payload of the given size: each participant
+// downloads the global model and uploads its update every epoch.
+func (l Link) RoundTripTime(bytes int) float64 {
+	return l.UploadTime(bytes) + l.DownloadTime(bytes)
+}

@@ -1,0 +1,87 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"fedsched/internal/nn"
+)
+
+func TestUploadDownloadBasics(t *testing.T) {
+	l := Link{Name: "test", UpMbps: 8, DownMbps: 4, RTTms: 0}
+	// 1 MB = 8 Mb: 1 s up at 8 Mbps, 2 s down at 4 Mbps.
+	if got := l.UploadTime(1e6); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("upload %v, want 1", got)
+	}
+	if got := l.DownloadTime(1e6); math.Abs(got-2) > 1e-9 {
+		t.Fatalf("download %v, want 2", got)
+	}
+	if got := l.RoundTripTime(1e6); math.Abs(got-3) > 1e-9 {
+		t.Fatalf("round trip %v, want 3", got)
+	}
+}
+
+func TestZeroBytesFree(t *testing.T) {
+	l := WiFi()
+	if l.UploadTime(0) != 0 || l.DownloadTime(0) != 0 || l.RoundTripTime(-5) != 0 {
+		t.Fatal("zero/negative payloads must be free")
+	}
+}
+
+func TestRTTIncluded(t *testing.T) {
+	l := Link{UpMbps: 1000, DownMbps: 1000, RTTms: 100}
+	if got := l.UploadTime(1); got < 0.1 {
+		t.Fatalf("RTT not included: %v", got)
+	}
+}
+
+// Table II cross-check: with the paper's link presets and model sizes, the
+// communication share of an epoch must land near the reported percentages.
+func TestTable2CommunicationShares(t *testing.T) {
+	lenet := nn.LeNet(1, 28, 28, 10)
+	vgg := nn.VGG6(1, 28, 28, 10)
+	cases := []struct {
+		name      string
+		link      Link
+		bytes     int
+		computeS  float64
+		wantShare float64 // paper's percentage
+		tol       float64
+	}{
+		{"LeNet/WiFi/Nexus6/3K", WiFi(), lenet.SizeBytes(), 31, 0.015, 0.01},
+		{"LeNet/LTE/Nexus6/3K", LTE(), lenet.SizeBytes(), 31, 0.067, 0.02},
+		{"VGG6/WiFi/Nexus6/3K", WiFi(), vgg.SizeBytes(), 495, 0.025, 0.01},
+		{"VGG6/LTE/Pixel2/3K", LTE(), vgg.SizeBytes(), 339, 0.147, 0.03},
+		{"VGG6/LTE/Nexus6/6K", LTE(), vgg.SizeBytes(), 1021, 0.053, 0.02},
+	}
+	for _, c := range cases {
+		comm := c.link.RoundTripTime(c.bytes)
+		share := comm / (comm + c.computeS)
+		if math.Abs(share-c.wantShare) > c.tol {
+			t.Errorf("%s: comm share %.3f, paper %.3f", c.name, share, c.wantShare)
+		}
+	}
+}
+
+// Observation 3: communication is a small fraction of training time —
+// about 5% on average, max ~15% (VGG6 over LTE).
+func TestObservation3CommShareSmall(t *testing.T) {
+	lenet := nn.LeNet(1, 28, 28, 10)
+	vgg := nn.VGG6(1, 28, 28, 10)
+	computeTimes := map[string]float64{ // 3K-sample epochs from Table II
+		"lenet": 31, "vgg": 495,
+	}
+	max := 0.0
+	for _, link := range []Link{WiFi(), LTE()} {
+		for name, bytes := range map[string]int{"lenet": lenet.SizeBytes(), "vgg": vgg.SizeBytes()} {
+			comm := link.RoundTripTime(bytes)
+			share := comm / (comm + computeTimes[name])
+			if share > max {
+				max = share
+			}
+		}
+	}
+	if max > 0.20 {
+		t.Fatalf("max communication share %.2f — computation should dominate", max)
+	}
+}

@@ -1,0 +1,203 @@
+package nn
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsched/internal/tensor"
+)
+
+// ReLU applies max(0, x) elementwise.
+type ReLU struct {
+	mask []bool
+}
+
+// NewReLU returns a ReLU activation layer.
+func NewReLU() *ReLU { return &ReLU{} }
+
+// Name implements Layer.
+func (r *ReLU) Name() string { return "ReLU" }
+
+// Params implements Layer.
+func (r *ReLU) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	if cap(r.mask) < y.Len() {
+		r.mask = make([]bool, y.Len())
+	}
+	r.mask = r.mask[:y.Len()]
+	for i, v := range y.Data() {
+		if v > 0 {
+			r.mask[i] = true
+		} else {
+			r.mask[i] = false
+			y.Data()[i] = 0
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	for i := range g.Data() {
+		if !r.mask[i] {
+			g.Data()[i] = 0
+		}
+	}
+	return g
+}
+
+// Flatten reshapes (N, ...) inputs to (N, prod(...)).
+type Flatten struct {
+	inShape []int
+}
+
+// NewFlatten returns a flatten layer.
+func NewFlatten() *Flatten { return &Flatten{} }
+
+// Name implements Layer.
+func (f *Flatten) Name() string { return "Flatten" }
+
+// Params implements Layer.
+func (f *Flatten) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	f.inShape = x.Shape()
+	n := x.Dim(0)
+	return x.Reshape(n, x.Len()/n)
+}
+
+// Backward implements Layer.
+func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	return grad.Reshape(f.inShape...)
+}
+
+// MaxPool2D is a non-overlapping 2-D max pooling layer over (N, C, H, W).
+type MaxPool2D struct {
+	Size, Stride int
+	argmax       []int
+	inShape      []int
+}
+
+// NewMaxPool2D constructs a max-pool layer with the given window and stride.
+func NewMaxPool2D(size, stride int) *MaxPool2D {
+	return &MaxPool2D{Size: size, Stride: stride}
+}
+
+// Name implements Layer.
+func (p *MaxPool2D) Name() string { return fmt.Sprintf("MaxPool2D(%d,s=%d)", p.Size, p.Stride) }
+
+// Params implements Layer.
+func (p *MaxPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-p.Size)/p.Stride + 1
+	ow := (w-p.Size)/p.Stride + 1
+	p.inShape = x.Shape()
+	y := tensor.New(n, c, oh, ow)
+	if cap(p.argmax) < y.Len() {
+		p.argmax = make([]int, y.Len())
+	}
+	p.argmax = p.argmax[:y.Len()]
+	xd, yd := x.Data(), y.Data()
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					bestIdx := base + (oy*p.Stride)*w + ox*p.Stride
+					best := xd[bestIdx]
+					for ky := 0; ky < p.Size; ky++ {
+						row := base + (oy*p.Stride+ky)*w + ox*p.Stride
+						for kx := 0; kx < p.Size; kx++ {
+							if v := xd[row+kx]; v > best {
+								best, bestIdx = v, row+kx
+							}
+						}
+					}
+					out := ((img*c+ch)*oh+oy)*ow + ox
+					yd[out] = best
+					p.argmax[out] = bestIdx
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	dx := tensor.New(p.inShape...)
+	dd, gd := dx.Data(), grad.Data()
+	for i, src := range p.argmax {
+		dd[src] += gd[i]
+	}
+	return dx
+}
+
+// Dropout zeroes activations with probability P during training and scales
+// the survivors by 1/(1−P) (inverted dropout). It is an identity at
+// inference time.
+type Dropout struct {
+	P    float64
+	rng  *rand.Rand
+	keep []bool
+}
+
+// NewDropout constructs a dropout layer driven by rng.
+func NewDropout(rng *rand.Rand, p float64) *Dropout {
+	return &Dropout{P: p, rng: rng}
+}
+
+// Name implements Layer.
+func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.P) }
+
+// Params implements Layer.
+func (d *Dropout) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if !train || d.P <= 0 {
+		d.keep = nil
+		return x
+	}
+	y := x.Clone()
+	if cap(d.keep) < y.Len() {
+		d.keep = make([]bool, y.Len())
+	}
+	d.keep = d.keep[:y.Len()]
+	scale := 1 / (1 - d.P)
+	for i := range y.Data() {
+		if d.rng.Float64() < d.P {
+			d.keep[i] = false
+			y.Data()[i] = 0
+		} else {
+			d.keep[i] = true
+			y.Data()[i] *= scale
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	if d.keep == nil {
+		return grad
+	}
+	g := grad.Clone()
+	scale := 1 / (1 - d.P)
+	for i := range g.Data() {
+		if d.keep[i] {
+			g.Data()[i] *= scale
+		} else {
+			g.Data()[i] = 0
+		}
+	}
+	return g
+}

@@ -1,0 +1,122 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedsched/internal/tensor"
+)
+
+// Conv2D is a 2-D convolution over (N, C, H, W) inputs, implemented as
+// im2col + matrix multiply. Weights have shape (OutC, InC, K, K).
+type Conv2D struct {
+	InC, OutC      int
+	K, Stride, Pad int
+	InH, InW       int // set on first Forward; used for FLOP estimates
+	w, b           *Param
+	cols           *tensor.Tensor // cached im2col matrix
+	inShape        []int
+	outH, outW     int
+}
+
+// NewConv2D constructs a convolution layer with He-initialized weights.
+func NewConv2D(rng *rand.Rand, inC, outC, k, stride, pad int) *Conv2D {
+	c := &Conv2D{
+		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
+		w: newParam(fmt.Sprintf("conv%dx%dx%d.w", outC, inC, k), outC, inC*k*k),
+		b: newParam(fmt.Sprintf("conv%dx%dx%d.b", outC, inC, k), outC),
+	}
+	fanIn := float64(inC * k * k)
+	std := math.Sqrt(2.0 / fanIn)
+	for i := range c.w.W.Data() {
+		c.w.W.Data()[i] = rng.NormFloat64() * std
+	}
+	return c
+}
+
+// Name implements Layer.
+func (c *Conv2D) Name() string {
+	return fmt.Sprintf("Conv2D(%d→%d,k=%d,s=%d,p=%d)", c.InC, c.OutC, c.K, c.Stride, c.Pad)
+}
+
+// Class implements Classed.
+func (c *Conv2D) Class() ParamClass { return ClassConv }
+
+// Params implements Layer.
+func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+
+// FlopsPerSample implements FlopsCounter. It requires one Forward call (or
+// SetInputSize) to know the spatial dimensions.
+func (c *Conv2D) FlopsPerSample() float64 {
+	if c.outH == 0 {
+		return 0
+	}
+	return 2 * float64(c.OutC) * float64(c.outH) * float64(c.outW) * float64(c.InC) * float64(c.K) * float64(c.K)
+}
+
+// SetInputSize pre-computes the output geometry for FLOP estimation without
+// running a forward pass.
+func (c *Conv2D) SetInputSize(h, w int) {
+	c.InH, c.InW = h, w
+	c.outH = tensor.ConvOutSize(h, c.K, c.Stride, c.Pad)
+	c.outW = tensor.ConvOutSize(w, c.K, c.Stride, c.Pad)
+}
+
+// OutSize returns the output spatial dimensions for an input of (h, w).
+func (c *Conv2D) OutSize(h, w int) (int, int) {
+	return tensor.ConvOutSize(h, c.K, c.Stride, c.Pad), tensor.ConvOutSize(w, c.K, c.Stride, c.Pad)
+}
+
+// Forward implements Layer. x must be (N, InC, H, W).
+func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 4 || x.Dim(1) != c.InC {
+		panic(fmt.Sprintf("nn: %s got input %v", c.Name(), x.Shape()))
+	}
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	c.SetInputSize(h, w)
+	c.inShape = x.Shape()
+	c.cols = tensor.Im2Col(x, c.K, c.K, c.Stride, c.Pad) // (N*OH*OW, InC*K*K)
+	ym := tensor.MatMulTransB(c.cols, c.w.W)             // (N*OH*OW, OutC)
+	oh, ow := c.outH, c.outW
+	y := tensor.New(n, c.OutC, oh, ow)
+	yd, md, bd := y.Data(), ym.Data(), c.b.W.Data()
+	for img := 0; img < n; img++ {
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := ((img*oh+oy)*ow + ox) * c.OutC
+				for f := 0; f < c.OutC; f++ {
+					yd[((img*c.OutC+f)*oh+oy)*ow+ox] = md[row+f] + bd[f]
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer. grad must be (N, OutC, OH, OW).
+func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n := grad.Dim(0)
+	oh, ow := c.outH, c.outW
+	// Re-layout grad to (N*OH*OW, OutC) to mirror the forward matmul.
+	gm := tensor.New(n*oh*ow, c.OutC)
+	gd, gmd := grad.Data(), gm.Data()
+	bg := c.b.Grad.Data()
+	for img := 0; img < n; img++ {
+		for f := 0; f < c.OutC; f++ {
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					v := gd[((img*c.OutC+f)*oh+oy)*ow+ox]
+					gmd[((img*oh+oy)*ow+ox)*c.OutC+f] = v
+					bg[f] += v
+				}
+			}
+		}
+	}
+	// dW = gmᵀ·cols : (OutC, InC*K*K).
+	dw := tensor.MatMulTransA(gm, c.cols)
+	c.w.Grad.Add(dw)
+	// dCols = gm·W : (N*OH*OW, InC*K*K), then scatter back to image space.
+	dcols := tensor.MatMul(gm, c.w.W)
+	return tensor.Col2Im(dcols, c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3], c.K, c.K, c.Stride, c.Pad)
+}

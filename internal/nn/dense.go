@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fedsched/internal/tensor"
+)
+
+// Dense is a fully-connected layer: y = x·Wᵀ + b with W of shape (out, in).
+type Dense struct {
+	In, Out int
+	w, b    *Param
+	x       *tensor.Tensor // cached input for backward
+}
+
+// NewDense constructs a dense layer with He-initialized weights.
+func NewDense(rng *rand.Rand, in, out int) *Dense {
+	d := &Dense{
+		In:  in,
+		Out: out,
+		w:   newParam(fmt.Sprintf("dense%dx%d.w", out, in), out, in),
+		b:   newParam(fmt.Sprintf("dense%dx%d.b", out, in), out),
+	}
+	std := math.Sqrt(2.0 / float64(in))
+	for i := range d.w.W.Data() {
+		d.w.W.Data()[i] = rng.NormFloat64() * std
+	}
+	return d
+}
+
+// Name implements Layer.
+func (d *Dense) Name() string { return fmt.Sprintf("Dense(%d→%d)", d.In, d.Out) }
+
+// Class implements Classed.
+func (d *Dense) Class() ParamClass { return ClassDense }
+
+// Params implements Layer.
+func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+
+// FlopsPerSample implements FlopsCounter: one multiply-add per weight.
+func (d *Dense) FlopsPerSample() float64 { return 2 * float64(d.In) * float64(d.Out) }
+
+// Forward implements Layer. x must be (N, In).
+func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != d.In {
+		panic(fmt.Sprintf("nn: %s got input %v", d.Name(), x.Shape()))
+	}
+	d.x = x
+	y := tensor.MatMulTransB(x, d.w.W) // (N,in)·(out,in)ᵀ = (N,out)
+	n := x.Dim(0)
+	yd, bd := y.Data(), d.b.W.Data()
+	for i := 0; i < n; i++ {
+		row := yd[i*d.Out : (i+1)*d.Out]
+		for j := range row {
+			row[j] += bd[j]
+		}
+	}
+	return y
+}
+
+// Backward implements Layer. grad must be (N, Out).
+func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	// dW = gradᵀ·x, db = Σ grad rows, dx = grad·W.
+	dw := tensor.MatMulTransA(grad, d.x) // (out, in)
+	d.w.Grad.Add(dw)
+	n := grad.Dim(0)
+	gd, bg := grad.Data(), d.b.Grad.Data()
+	for i := 0; i < n; i++ {
+		row := gd[i*d.Out : (i+1)*d.Out]
+		for j, v := range row {
+			bg[j] += v
+		}
+	}
+	return tensor.MatMul(grad, d.w.W) // (N,out)·(out,in) = (N,in)
+}

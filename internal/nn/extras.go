@@ -1,0 +1,197 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"fedsched/internal/tensor"
+)
+
+// AvgPool2D is a non-overlapping 2-D average pooling layer over
+// (N, C, H, W) inputs.
+type AvgPool2D struct {
+	Size, Stride int
+	inShape      []int
+}
+
+// NewAvgPool2D constructs an average-pool layer.
+func NewAvgPool2D(size, stride int) *AvgPool2D {
+	return &AvgPool2D{Size: size, Stride: stride}
+}
+
+// Name implements Layer.
+func (p *AvgPool2D) Name() string { return fmt.Sprintf("AvgPool2D(%d,s=%d)", p.Size, p.Stride) }
+
+// Params implements Layer.
+func (p *AvgPool2D) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h-p.Size)/p.Stride + 1
+	ow := (w-p.Size)/p.Stride + 1
+	p.inShape = x.Shape()
+	y := tensor.New(n, c, oh, ow)
+	xd, yd := x.Data(), y.Data()
+	inv := 1 / float64(p.Size*p.Size)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					s := 0.0
+					for ky := 0; ky < p.Size; ky++ {
+						row := base + (oy*p.Stride+ky)*w + ox*p.Stride
+						for kx := 0; kx < p.Size; kx++ {
+							s += xd[row+kx]
+						}
+					}
+					yd[((img*c+ch)*oh+oy)*ow+ox] = s * inv
+				}
+			}
+		}
+	}
+	return y
+}
+
+// Backward implements Layer.
+func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	n, c := p.inShape[0], p.inShape[1]
+	h, w := p.inShape[2], p.inShape[3]
+	oh, ow := grad.Dim(2), grad.Dim(3)
+	dx := tensor.New(p.inShape...)
+	gd, dd := grad.Data(), dx.Data()
+	inv := 1 / float64(p.Size*p.Size)
+	for img := 0; img < n; img++ {
+		for ch := 0; ch < c; ch++ {
+			base := (img*c + ch) * h * w
+			for oy := 0; oy < oh; oy++ {
+				for ox := 0; ox < ow; ox++ {
+					g := gd[((img*c+ch)*oh+oy)*ow+ox] * inv
+					for ky := 0; ky < p.Size; ky++ {
+						row := base + (oy*p.Stride+ky)*w + ox*p.Stride
+						for kx := 0; kx < p.Size; kx++ {
+							dd[row+kx] += g
+						}
+					}
+				}
+			}
+		}
+	}
+	return dx
+}
+
+// Tanh applies the hyperbolic tangent elementwise (the classic LeNet
+// nonlinearity).
+type Tanh struct {
+	out *tensor.Tensor
+}
+
+// NewTanh returns a tanh activation layer.
+func NewTanh() *Tanh { return &Tanh{} }
+
+// Name implements Layer.
+func (t *Tanh) Name() string { return "Tanh" }
+
+// Params implements Layer.
+func (t *Tanh) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	y.Apply(math.Tanh)
+	t.out = y
+	return y
+}
+
+// Backward implements Layer.
+func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	od := t.out.Data()
+	gd := g.Data()
+	for i := range gd {
+		gd[i] *= 1 - od[i]*od[i]
+	}
+	return g
+}
+
+// Sigmoid applies the logistic function elementwise.
+type Sigmoid struct {
+	out *tensor.Tensor
+}
+
+// NewSigmoid returns a sigmoid activation layer.
+func NewSigmoid() *Sigmoid { return &Sigmoid{} }
+
+// Name implements Layer.
+func (s *Sigmoid) Name() string { return "Sigmoid" }
+
+// Params implements Layer.
+func (s *Sigmoid) Params() []*Param { return nil }
+
+// Forward implements Layer.
+func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	y := x.Clone()
+	y.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
+	s.out = y
+	return y
+}
+
+// Backward implements Layer.
+func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
+	g := grad.Clone()
+	od := s.out.Data()
+	gd := g.Data()
+	for i := range gd {
+		gd[i] *= od[i] * (1 - od[i])
+	}
+	return g
+}
+
+// LRSchedule maps a round/epoch index to a learning rate.
+type LRSchedule func(step int) float64
+
+// ConstantLR returns lr for every step.
+func ConstantLR(lr float64) LRSchedule {
+	return func(int) float64 { return lr }
+}
+
+// StepDecayLR halves (×factor) the rate every `every` steps.
+func StepDecayLR(lr, factor float64, every int) LRSchedule {
+	return func(step int) float64 {
+		if every <= 0 {
+			return lr
+		}
+		return lr * math.Pow(factor, float64(step/every))
+	}
+}
+
+// CosineLR anneals from lr to floor over total steps.
+func CosineLR(lr, floor float64, total int) LRSchedule {
+	return func(step int) float64 {
+		if total <= 0 || step >= total {
+			return floor
+		}
+		return floor + (lr-floor)*0.5*(1+math.Cos(math.Pi*float64(step)/float64(total)))
+	}
+}
+
+// ClipGradients rescales all gradients so their global L2 norm does not
+// exceed maxNorm; it returns the pre-clip norm. maxNorm ≤ 0 disables
+// clipping (the norm is still reported).
+func ClipGradients(params []*Param, maxNorm float64) float64 {
+	sq := 0.0
+	for _, p := range params {
+		for _, v := range p.Grad.Data() {
+			sq += v * v
+		}
+	}
+	norm := math.Sqrt(sq)
+	if maxNorm > 0 && norm > maxNorm {
+		scale := maxNorm / norm
+		for _, p := range params {
+			p.Grad.Scale(scale)
+		}
+	}
+	return norm
+}

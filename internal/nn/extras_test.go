@@ -1,0 +1,174 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/tensor"
+)
+
+func TestAvgPoolForwardBackward(t *testing.T) {
+	x := tensor.From([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	p := NewAvgPool2D(2, 2)
+	y := p.Forward(x, true)
+	want := []float64{3.5, 5.5, 11.5, 13.5}
+	for i, v := range y.Data() {
+		if v != want[i] {
+			t.Fatalf("avg pool output %v, want %v", y.Data(), want)
+		}
+	}
+	g := tensor.From([]float64{4, 8, 12, 16}, 1, 1, 2, 2)
+	dx := p.Backward(g)
+	// Each input in a window receives grad/4.
+	if dx.At(0, 0, 0, 0) != 1 || dx.At(0, 0, 0, 2) != 2 || dx.At(0, 0, 2, 0) != 3 || dx.At(0, 0, 3, 3) != 4 {
+		t.Fatalf("avg pool backward %v", dx.Data())
+	}
+	if math.Abs(dx.Sum()-g.Sum()) > 1e-12 {
+		t.Fatal("avg pool backward must conserve gradient mass")
+	}
+}
+
+func TestAvgPoolGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	net := NewNetwork("avg",
+		NewConv2D(rng, 1, 2, 3, 1, 1),
+		NewTanh(),
+		NewAvgPool2D(2, 2),
+		NewFlatten(),
+		NewDense(rng, 2*3*3, 3),
+	)
+	x := tensor.Randn(rng, 1, 2, 1, 6, 6)
+	if worst := GradCheck(net, x, []int{0, 2}, 1e-5); worst > 1e-3 {
+		t.Fatalf("avg-pool/tanh grad check worst relative error %v", worst)
+	}
+}
+
+func TestSigmoidGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(22))
+	net := NewNetwork("sig",
+		NewDense(rng, 6, 5),
+		NewSigmoid(),
+		NewDense(rng, 5, 3),
+	)
+	x := tensor.Randn(rng, 1, 4, 6)
+	if worst := GradCheck(net, x, []int{0, 1, 2, 0}, 1e-5); worst > 1e-4 {
+		t.Fatalf("sigmoid grad check worst relative error %v", worst)
+	}
+}
+
+func TestTanhSigmoidRanges(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	x := tensor.Randn(rng, 10, 2, 50)
+	y := NewTanh().Forward(x, false)
+	for _, v := range y.Data() {
+		if v < -1 || v > 1 {
+			t.Fatalf("tanh out of range: %v", v)
+		}
+	}
+	z := NewSigmoid().Forward(x, false)
+	for _, v := range z.Data() {
+		if v < 0 || v > 1 {
+			t.Fatalf("sigmoid out of range: %v", v)
+		}
+	}
+}
+
+func TestLRSchedules(t *testing.T) {
+	c := ConstantLR(0.1)
+	if c(0) != 0.1 || c(100) != 0.1 {
+		t.Fatal("constant schedule broken")
+	}
+	s := StepDecayLR(0.1, 0.5, 10)
+	if s(0) != 0.1 || s(9) != 0.1 {
+		t.Fatal("step decay too eager")
+	}
+	if math.Abs(s(10)-0.05) > 1e-12 || math.Abs(s(25)-0.025) > 1e-12 {
+		t.Fatalf("step decay wrong: %v %v", s(10), s(25))
+	}
+	if StepDecayLR(0.1, 0.5, 0)(100) != 0.1 {
+		t.Fatal("zero-interval step decay should be constant")
+	}
+	cos := CosineLR(0.1, 0.01, 100)
+	if math.Abs(cos(0)-0.1) > 1e-12 {
+		t.Fatalf("cosine start %v", cos(0))
+	}
+	if math.Abs(cos(100)-0.01) > 1e-12 || math.Abs(cos(200)-0.01) > 1e-12 {
+		t.Fatal("cosine floor broken")
+	}
+	mid := cos(50)
+	if mid <= 0.01 || mid >= 0.1 {
+		t.Fatalf("cosine midpoint %v", mid)
+	}
+	// Monotone decreasing.
+	prev := cos(0)
+	for i := 1; i <= 100; i += 7 {
+		if cos(i) > prev+1e-12 {
+			t.Fatalf("cosine not decreasing at %d", i)
+		}
+		prev = cos(i)
+	}
+}
+
+func TestClipGradients(t *testing.T) {
+	p := newParam("w", 2)
+	p.Grad.Data()[0], p.Grad.Data()[1] = 3, 4 // norm 5
+	norm := ClipGradients([]*Param{p}, 2.5)
+	if math.Abs(norm-5) > 1e-12 {
+		t.Fatalf("pre-clip norm %v, want 5", norm)
+	}
+	if math.Abs(p.Grad.Data()[0]-1.5) > 1e-12 || math.Abs(p.Grad.Data()[1]-2) > 1e-12 {
+		t.Fatalf("clipped grads %v", p.Grad.Data())
+	}
+	// Below threshold: untouched. Disabled: untouched but norm reported.
+	p.Grad.Data()[0], p.Grad.Data()[1] = 0.3, 0.4
+	ClipGradients([]*Param{p}, 2.5)
+	if p.Grad.Data()[0] != 0.3 {
+		t.Fatal("clip touched small gradient")
+	}
+	if n := ClipGradients([]*Param{p}, 0); math.Abs(n-0.5) > 1e-12 {
+		t.Fatalf("disabled clip norm %v", n)
+	}
+}
+
+func TestTrainingWithScheduleAndClipping(t *testing.T) {
+	// Integration: a tanh/avg-pool LeNet variant trains with a decaying
+	// learning rate and clipping without diverging.
+	rng := rand.New(rand.NewSource(24))
+	net := NewNetwork("classic-lenet",
+		NewConv2D(rng, 1, 4, 5, 1, 2),
+		NewTanh(),
+		NewAvgPool2D(2, 2),
+		NewFlatten(),
+		NewDense(rng, 4*8*8, 10),
+	)
+	x := tensor.Randn(rng, 1, 40, 1, 16, 16)
+	labels := make([]int, 40)
+	for i := range labels {
+		labels[i] = i % 10
+		// Inject class signal.
+		for k := 0; k < 16; k++ {
+			x.Set(2, i, 0, labels[i], k)
+		}
+	}
+	sched := StepDecayLR(0.05, 0.5, 10)
+	opt := NewSGD(sched(0), 0.9, 0)
+	first := net.TrainBatch(x, labels)
+	ClipGradients(net.Params(), 5)
+	opt.Step(net.Params())
+	var last float64
+	for step := 1; step < 40; step++ {
+		opt.LR = sched(step)
+		last = net.TrainBatch(x, labels)
+		ClipGradients(net.Params(), 5)
+		opt.Step(net.Params())
+	}
+	if math.IsNaN(last) || last > first {
+		t.Fatalf("loss did not improve: %v → %v", first, last)
+	}
+}

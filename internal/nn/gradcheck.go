@@ -1,0 +1,34 @@
+package nn
+
+import (
+	"math"
+
+	"fedsched/internal/tensor"
+)
+
+// GradCheck compares the analytic gradient of the network's loss with a
+// central-difference numerical gradient over every parameter, and returns
+// the largest relative error encountered. Intended for tests on tiny
+// networks.
+func GradCheck(n *Network, x *tensor.Tensor, labels []int, eps float64) float64 {
+	n.ZeroGrads()
+	n.TrainBatch(x, labels)
+	worst := 0.0
+	for _, p := range n.Params() {
+		for i := range p.W.Data() {
+			orig := p.W.Data()[i]
+			p.W.Data()[i] = orig + eps
+			lp, _ := SoftmaxCrossEntropy(n.Forward(x, true), labels)
+			p.W.Data()[i] = orig - eps
+			lm, _ := SoftmaxCrossEntropy(n.Forward(x, true), labels)
+			p.W.Data()[i] = orig
+			numeric := (lp - lm) / (2 * eps)
+			analytic := p.Grad.Data()[i]
+			denom := math.Max(math.Abs(numeric)+math.Abs(analytic), 1e-8)
+			if rel := math.Abs(numeric-analytic) / denom; rel > worst {
+				worst = rel
+			}
+		}
+	}
+	return worst
+}

@@ -1,0 +1,67 @@
+// Package nn is a from-scratch CPU deep-learning substrate: layers, losses,
+// SGD training and the LeNet / VGG6 architectures evaluated in the paper.
+// The federated engine trains real models with it, and the performance
+// profiler consumes its parameter counts (convolutional vs dense split,
+// paper §IV-B) and FLOP estimates.
+package nn
+
+import "fedsched/internal/tensor"
+
+// Param is a trainable parameter with its gradient accumulator. Grad has
+// the same shape as W and is zeroed by the optimizer after each step.
+type Param struct {
+	Name string
+	W    *tensor.Tensor
+	Grad *tensor.Tensor
+}
+
+// Layer is a differentiable network stage. Forward consumes the previous
+// activation and returns the next one; Backward consumes dLoss/dOutput and
+// returns dLoss/dInput, accumulating parameter gradients along the way.
+// Layers cache whatever they need between Forward and Backward, so a layer
+// instance must not be shared between concurrently-training networks.
+type Layer interface {
+	// Name identifies the layer kind for diagnostics.
+	Name() string
+	// Forward runs the layer. train enables training-only behaviour
+	// such as dropout.
+	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	// Backward propagates the output gradient to the input gradient.
+	Backward(grad *tensor.Tensor) *tensor.Tensor
+	// Params returns the layer's trainable parameters (possibly empty).
+	Params() []*Param
+}
+
+// ParamClass distinguishes convolutional from densely-connected parameters;
+// the profiler regresses training time against the two counts separately
+// because convolutions dominate compute (paper §IV-B).
+type ParamClass int
+
+const (
+	// ClassNone marks layers without trainable parameters.
+	ClassNone ParamClass = iota
+	// ClassConv marks convolutional parameters.
+	ClassConv
+	// ClassDense marks densely-connected parameters.
+	ClassDense
+)
+
+// Classed is implemented by layers whose parameters belong to a class.
+type Classed interface {
+	Class() ParamClass
+}
+
+// FlopsCounter is implemented by layers that can estimate the forward-pass
+// floating point operations for a single sample.
+type FlopsCounter interface {
+	// FlopsPerSample returns forward-pass FLOPs for one input sample.
+	FlopsPerSample() float64
+}
+
+func newParam(name string, shape ...int) *Param {
+	return &Param{
+		Name: name,
+		W:    tensor.New(shape...),
+		Grad: tensor.New(shape...),
+	}
+}

@@ -1,0 +1,94 @@
+package nn
+
+import (
+	"math"
+
+	"fedsched/internal/tensor"
+)
+
+// SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
+// (N, K) against integer labels, and the gradient with respect to the
+// logits. The softmax and the loss are fused for numerical stability.
+func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	n, k := logits.Dim(0), logits.Dim(1)
+	if len(labels) != n {
+		panic("nn: label count does not match batch size")
+	}
+	grad = tensor.New(n, k)
+	ld, gd := logits.Data(), grad.Data()
+	invN := 1 / float64(n)
+	for i := 0; i < n; i++ {
+		row := ld[i*k : (i+1)*k]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		g := gd[i*k : (i+1)*k]
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			g[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		y := labels[i]
+		if y < 0 || y >= k {
+			panic("nn: label out of range")
+		}
+		for j := range g {
+			g[j] = g[j] * inv * invN
+		}
+		p := g[y] / invN // softmax probability of true class
+		g[y] -= invN
+		loss += -math.Log(math.Max(p, 1e-15))
+	}
+	return loss * invN, grad
+}
+
+// Softmax returns row-wise softmax probabilities of logits (N, K).
+func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+	n, k := logits.Dim(0), logits.Dim(1)
+	out := tensor.New(n, k)
+	ld, od := logits.Data(), out.Data()
+	for i := 0; i < n; i++ {
+		row := ld[i*k : (i+1)*k]
+		o := od[i*k : (i+1)*k]
+		maxv := row[0]
+		for _, v := range row[1:] {
+			if v > maxv {
+				maxv = v
+			}
+		}
+		sum := 0.0
+		for j, v := range row {
+			e := math.Exp(v - maxv)
+			o[j] = e
+			sum += e
+		}
+		inv := 1 / sum
+		for j := range o {
+			o[j] *= inv
+		}
+	}
+	return out
+}
+
+// Argmax returns the index of the largest value in each row of a 2-D tensor.
+func Argmax(x *tensor.Tensor) []int {
+	n, k := x.Dim(0), x.Dim(1)
+	out := make([]int, n)
+	d := x.Data()
+	for i := 0; i < n; i++ {
+		row := d[i*k : (i+1)*k]
+		best := 0
+		for j, v := range row {
+			if v > row[best] {
+				best = j
+			}
+		}
+		out[i] = best
+	}
+	return out
+}

@@ -1,0 +1,159 @@
+package nn
+
+import (
+	"fmt"
+	"strings"
+
+	"fedsched/internal/tensor"
+)
+
+// BytesPerParam is the on-the-wire size of one model parameter. The paper's
+// DL4J checkpoints serialize at ≈12 bytes/parameter (LeNet 205K → 2.5 MB,
+// VGG6 5.45M → 65.4 MB): float64 weights plus updater state. We use the
+// same ratio so communication times match Table II.
+const BytesPerParam = 12
+
+// Network is a feed-forward stack of layers trained with softmax
+// cross-entropy.
+type Network struct {
+	// Arch is a short architecture label such as "LeNet" or "VGG6".
+	Arch   string
+	Layers []Layer
+}
+
+// NewNetwork builds a network from layers with the given architecture name.
+func NewNetwork(arch string, layers ...Layer) *Network {
+	return &Network{Arch: arch, Layers: layers}
+}
+
+// Forward runs all layers and returns the logits.
+func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	for _, l := range n.Layers {
+		x = l.Forward(x, train)
+	}
+	return x
+}
+
+// Backward propagates a logits gradient through all layers, accumulating
+// parameter gradients.
+func (n *Network) Backward(grad *tensor.Tensor) {
+	for i := len(n.Layers) - 1; i >= 0; i-- {
+		grad = n.Layers[i].Backward(grad)
+	}
+}
+
+// TrainBatch runs a forward/backward pass on one mini-batch and returns the
+// loss. Parameter gradients are left accumulated for the optimizer.
+func (n *Network) TrainBatch(x *tensor.Tensor, labels []int) float64 {
+	logits := n.Forward(x, true)
+	loss, grad := SoftmaxCrossEntropy(logits, labels)
+	n.Backward(grad)
+	return loss
+}
+
+// Predict returns the predicted class per sample.
+func (n *Network) Predict(x *tensor.Tensor) []int {
+	return Argmax(n.Forward(x, false))
+}
+
+// Params returns every trainable parameter in layer order.
+func (n *Network) Params() []*Param {
+	var ps []*Param
+	for _, l := range n.Layers {
+		ps = append(ps, l.Params()...)
+	}
+	return ps
+}
+
+// ParamCount returns the total number of scalar parameters.
+func (n *Network) ParamCount() int {
+	total := 0
+	for _, p := range n.Params() {
+		total += p.W.Len()
+	}
+	return total
+}
+
+// ParamCounts returns the parameter totals split into convolutional and
+// dense classes — the two regressors of the profiler's step-1 model.
+func (n *Network) ParamCounts() (conv, dense int) {
+	for _, l := range n.Layers {
+		c, ok := l.(Classed)
+		if !ok {
+			continue
+		}
+		sz := 0
+		for _, p := range l.Params() {
+			sz += p.W.Len()
+		}
+		switch c.Class() {
+		case ClassConv:
+			conv += sz
+		case ClassDense:
+			dense += sz
+		}
+	}
+	return conv, dense
+}
+
+// FlopsPerSample estimates forward-pass FLOPs for a single sample. Training
+// costs roughly 3× this (forward + input-grad + weight-grad passes).
+func (n *Network) FlopsPerSample() float64 {
+	total := 0.0
+	for _, l := range n.Layers {
+		if f, ok := l.(FlopsCounter); ok {
+			total += f.FlopsPerSample()
+		}
+	}
+	return total
+}
+
+// SizeBytes returns the serialized model size used for communication-time
+// modelling.
+func (n *Network) SizeBytes() int {
+	return n.ParamCount() * BytesPerParam
+}
+
+// GetWeights returns a deep copy of all parameter tensors, in order.
+func (n *Network) GetWeights() []*tensor.Tensor {
+	ps := n.Params()
+	out := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		out[i] = p.W.Clone()
+	}
+	return out
+}
+
+// SetWeights overwrites all parameters from the given tensors (same order
+// and shapes as GetWeights).
+func (n *Network) SetWeights(ws []*tensor.Tensor) {
+	ps := n.Params()
+	if len(ws) != len(ps) {
+		panic(fmt.Sprintf("nn: SetWeights got %d tensors, model has %d params", len(ws), len(ps)))
+	}
+	for i, p := range ps {
+		if p.W.Len() != ws[i].Len() {
+			panic(fmt.Sprintf("nn: SetWeights param %d size mismatch", i))
+		}
+		copy(p.W.Data(), ws[i].Data())
+	}
+}
+
+// ZeroGrads clears all accumulated gradients.
+func (n *Network) ZeroGrads() {
+	for _, p := range n.Params() {
+		p.Grad.Zero()
+	}
+}
+
+// Summary renders a human-readable architecture description.
+func (n *Network) Summary() string {
+	var b strings.Builder
+	conv, dense := n.ParamCounts()
+	fmt.Fprintf(&b, "%s: %d params (conv %d, dense %d), %.1f MFLOPs/sample\n",
+		n.Arch, n.ParamCount(), conv, dense, n.FlopsPerSample()/1e6)
+	for _, l := range n.Layers {
+		fmt.Fprintf(&b, "  %s\n", l.Name())
+	}
+	return b.String()
+}

@@ -1,0 +1,385 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fedsched/internal/tensor"
+)
+
+func TestDenseForwardShapeAndBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	d := NewDense(rng, 4, 3)
+	// Zero the weights so output equals the bias.
+	d.w.W.Zero()
+	d.b.W.Data()[0], d.b.W.Data()[1], d.b.W.Data()[2] = 1, 2, 3
+	x := tensor.New(2, 4)
+	y := d.Forward(x, true)
+	if y.Dim(0) != 2 || y.Dim(1) != 3 {
+		t.Fatalf("output shape %v, want [2 3]", y.Shape())
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if y.At(i, j) != float64(j+1) {
+				t.Fatalf("bias not applied: %v", y.Data())
+			}
+		}
+	}
+}
+
+func TestDenseGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	net := NewNetwork("test", NewDense(rng, 5, 4), NewReLU(), NewDense(rng, 4, 3))
+	x := tensor.Randn(rng, 1, 6, 5)
+	labels := []int{0, 1, 2, 0, 1, 2}
+	if worst := GradCheck(net, x, labels, 1e-5); worst > 1e-4 {
+		t.Fatalf("dense grad check worst relative error %v", worst)
+	}
+}
+
+func TestConvGradCheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	net := NewNetwork("test",
+		NewConv2D(rng, 1, 2, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewFlatten(),
+		NewDense(rng, 2*3*3, 3),
+	)
+	x := tensor.Randn(rng, 1, 2, 1, 6, 6)
+	labels := []int{0, 2}
+	if worst := GradCheck(net, x, labels, 1e-5); worst > 1e-3 {
+		t.Fatalf("conv grad check worst relative error %v", worst)
+	}
+}
+
+func TestSoftmaxCrossEntropyUniform(t *testing.T) {
+	logits := tensor.New(2, 4) // all-zero logits → uniform softmax
+	loss, grad := SoftmaxCrossEntropy(logits, []int{1, 3})
+	want := math.Log(4)
+	if math.Abs(loss-want) > 1e-12 {
+		t.Fatalf("loss = %v, want ln(4) = %v", loss, want)
+	}
+	// Gradient rows sum to zero (softmax minus one-hot, scaled by 1/N).
+	for i := 0; i < 2; i++ {
+		s := 0.0
+		for j := 0; j < 4; j++ {
+			s += grad.At(i, j)
+		}
+		if math.Abs(s) > 1e-12 {
+			t.Fatalf("grad row %d sums to %v, want 0", i, s)
+		}
+	}
+	if grad.At(0, 1) >= 0 || grad.At(0, 0) <= 0 {
+		t.Fatal("gradient signs wrong: true class must be negative")
+	}
+}
+
+func TestSoftmaxRowsSumToOne(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	logits := tensor.Randn(rng, 5, 3, 7)
+	p := Softmax(logits)
+	for i := 0; i < 3; i++ {
+		s := 0.0
+		for j := 0; j < 7; j++ {
+			v := p.At(i, j)
+			if v < 0 || v > 1 {
+				t.Fatalf("probability out of range: %v", v)
+			}
+			s += v
+		}
+		if math.Abs(s-1) > 1e-12 {
+			t.Fatalf("row %d sums to %v", i, s)
+		}
+	}
+}
+
+func TestSoftmaxCrossEntropyStability(t *testing.T) {
+	logits := tensor.From([]float64{1000, -1000, 0}, 1, 3)
+	loss, grad := SoftmaxCrossEntropy(logits, []int{0})
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss overflowed: %v", loss)
+	}
+	if loss > 1e-9 {
+		t.Fatalf("confident correct prediction should have ~0 loss, got %v", loss)
+	}
+	for _, g := range grad.Data() {
+		if math.IsNaN(g) {
+			t.Fatal("NaN in gradient")
+		}
+	}
+}
+
+func TestArgmax(t *testing.T) {
+	x := tensor.From([]float64{1, 5, 2, 9, 0, 3}, 2, 3)
+	got := Argmax(x)
+	if got[0] != 1 || got[1] != 0 {
+		t.Fatalf("Argmax = %v, want [1 0]", got)
+	}
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	x := tensor.From([]float64{
+		1, 2, 3, 4,
+		5, 6, 7, 8,
+		9, 10, 11, 12,
+		13, 14, 15, 16,
+	}, 1, 1, 4, 4)
+	p := NewMaxPool2D(2, 2)
+	y := p.Forward(x, true)
+	want := []float64{6, 8, 14, 16}
+	for i, v := range y.Data() {
+		if v != want[i] {
+			t.Fatalf("pool output %v, want %v", y.Data(), want)
+		}
+	}
+	g := tensor.From([]float64{1, 2, 3, 4}, 1, 1, 2, 2)
+	dx := p.Backward(g)
+	// Gradient routed only to the argmax positions.
+	if dx.At(0, 0, 1, 1) != 1 || dx.At(0, 0, 1, 3) != 2 || dx.At(0, 0, 3, 1) != 3 || dx.At(0, 0, 3, 3) != 4 {
+		t.Fatalf("pool backward wrong: %v", dx.Data())
+	}
+	if s := dx.Sum(); s != 10 {
+		t.Fatalf("pool backward should conserve gradient mass: %v", s)
+	}
+}
+
+func TestDropoutTrainVsEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := NewDropout(rng, 0.5)
+	x := tensor.New(1, 1000)
+	x.Fill(1)
+	yTrain := d.Forward(x, true)
+	zeros := 0
+	for _, v := range yTrain.Data() {
+		if v == 0 {
+			zeros++
+		} else if math.Abs(v-2) > 1e-12 {
+			t.Fatalf("survivor not scaled by 1/(1-p): %v", v)
+		}
+	}
+	if zeros < 350 || zeros > 650 {
+		t.Fatalf("dropout rate off: %d/1000 zeroed", zeros)
+	}
+	yEval := d.Forward(x, false)
+	for _, v := range yEval.Data() {
+		if v != 1 {
+			t.Fatal("dropout must be identity at eval time")
+		}
+	}
+}
+
+func TestSGDPlainStep(t *testing.T) {
+	p := newParam("w", 2)
+	p.W.Data()[0], p.W.Data()[1] = 1, 2
+	p.Grad.Data()[0], p.Grad.Data()[1] = 10, -10
+	opt := NewSGD(0.1, 0, 0)
+	opt.Step([]*Param{p})
+	if p.W.Data()[0] != 0 || p.W.Data()[1] != 3 {
+		t.Fatalf("after step: %v", p.W.Data())
+	}
+	if p.Grad.Data()[0] != 0 {
+		t.Fatal("gradients must be zeroed after step")
+	}
+}
+
+func TestSGDMomentumAccumulates(t *testing.T) {
+	p := newParam("w", 1)
+	opt := NewSGD(1, 0.9, 0)
+	for i := 0; i < 2; i++ {
+		p.Grad.Data()[0] = 1
+		opt.Step([]*Param{p})
+	}
+	// Step1: v=1, w=-1. Step2: v=0.9+1=1.9, w=-2.9.
+	if math.Abs(p.W.Data()[0]+2.9) > 1e-12 {
+		t.Fatalf("momentum update wrong: %v", p.W.Data()[0])
+	}
+	opt.Reset()
+	p.Grad.Data()[0] = 1
+	opt.Step([]*Param{p})
+	if math.Abs(p.W.Data()[0]+3.9) > 1e-12 {
+		t.Fatalf("after reset expected plain step: %v", p.W.Data()[0])
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	p := newParam("w", 1)
+	p.W.Data()[0] = 10
+	opt := NewSGD(0.1, 0, 0.5)
+	opt.Step([]*Param{p}) // grad = 0 + 0.5*10 = 5; w = 10 - 0.5 = 9.5
+	if math.Abs(p.W.Data()[0]-9.5) > 1e-12 {
+		t.Fatalf("decay step wrong: %v", p.W.Data()[0])
+	}
+}
+
+func TestGetSetWeightsRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := LeNetSmall(1, 16, 16, 10)
+	n1 := a.Build(rng)
+	n2 := a.Build(rng)
+	w := n1.GetWeights()
+	n2.SetWeights(w)
+	x := tensor.Randn(rng, 1, 2, 1, 16, 16)
+	y1 := n1.Forward(x, false)
+	y2 := n2.Forward(x, false)
+	if !tensor.Equal(y1, y2, 1e-12) {
+		t.Fatal("networks disagree after weight transfer")
+	}
+	// GetWeights must be a deep copy.
+	w[0].Fill(0)
+	y3 := n1.Forward(x, false)
+	if !tensor.Equal(y1, y3, 1e-12) {
+		t.Fatal("GetWeights leaked internal storage")
+	}
+}
+
+func TestParamCountsPaperScale(t *testing.T) {
+	lenet := LeNet(1, 28, 28, 10)
+	if got := lenet.ParamCount(); got < 195000 || got > 215000 {
+		t.Fatalf("paper-scale LeNet params = %d, want ≈205K", got)
+	}
+	vgg := VGG6(1, 28, 28, 10)
+	if got := vgg.ParamCount(); got < 5.2e6 || got > 5.8e6 {
+		t.Fatalf("paper-scale VGG6 params = %d, want ≈5.45M", got)
+	}
+	// Conv/dense split must be non-trivial for both.
+	c, d := lenet.ParamCounts()
+	if c == 0 || d == 0 {
+		t.Fatalf("LeNet split conv=%d dense=%d", c, d)
+	}
+	// VGG6 communication payload ≈ 65 MB as in Table II.
+	if mb := float64(vgg.SizeBytes()) / 1e6; mb < 55 || mb > 75 {
+		t.Fatalf("VGG6 payload = %.1f MB, want ≈65 MB", mb)
+	}
+	if mb := float64(lenet.SizeBytes()) / 1e6; mb < 2.0 || mb > 3.0 {
+		t.Fatalf("LeNet payload = %.1f MB, want ≈2.5 MB", mb)
+	}
+}
+
+func TestArchAnalyticMatchesBuilt(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, a := range []*Arch{
+		LeNetSmall(1, 16, 16, 10),
+		VGG6Small(3, 16, 16, 10),
+		LeNet(1, 28, 28, 10),
+		MLP(64, 32, 10),
+	} {
+		net := a.Build(rng)
+		if net.ParamCount() != a.ParamCount() {
+			t.Fatalf("%s: analytic params %d != built %d", a.Name, a.ParamCount(), net.ParamCount())
+		}
+		ac, ad := a.ParamCounts()
+		nc, nd := net.ParamCounts()
+		if ac != nc || ad != nd {
+			t.Fatalf("%s: split mismatch analytic (%d,%d) built (%d,%d)", a.Name, ac, ad, nc, nd)
+		}
+	}
+}
+
+func TestArchFlopsMatchBuiltAfterForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := LeNetSmall(1, 16, 16, 10)
+	net := a.Build(rng)
+	x := tensor.Randn(rng, 1, 1, 1, 16, 16)
+	net.Forward(x, false)
+	if math.Abs(net.FlopsPerSample()-a.FlopsPerSample()) > 1 {
+		t.Fatalf("FLOPs analytic %v != built %v", a.FlopsPerSample(), net.FlopsPerSample())
+	}
+	if a.TrainFlopsPerSample() != 3*a.FlopsPerSample() {
+		t.Fatal("training FLOPs must be 3× forward")
+	}
+}
+
+func TestVGGSmallGradCheck(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grad check on conv stack is slow")
+	}
+	rng := rand.New(rand.NewSource(9))
+	// A tiny VGG-style stack exercising conv+conv+pool composition.
+	net := NewNetwork("tiny-vgg",
+		NewConv2D(rng, 1, 2, 3, 1, 1),
+		NewReLU(),
+		NewConv2D(rng, 2, 2, 3, 1, 1),
+		NewReLU(),
+		NewMaxPool2D(2, 2),
+		NewFlatten(),
+		NewDense(rng, 2*3*3, 3),
+	)
+	x := tensor.Randn(rng, 1, 1, 1, 6, 6)
+	if worst := GradCheck(net, x, []int{1}, 1e-5); worst > 1e-3 {
+		t.Fatalf("tiny-vgg grad check worst relative error %v", worst)
+	}
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	net := LeNetSmall(1, 8, 8, 4).Build(rng)
+	// LeNetSmall expects 16x16; build a matching tiny problem instead.
+	net = NewNetwork("toy",
+		NewFlatten(),
+		NewDense(rng, 64, 32),
+		NewReLU(),
+		NewDense(rng, 32, 4),
+	)
+	// Linearly separable toy data: class = quadrant of strongest corner.
+	n := 64
+	x := tensor.New(n, 1, 8, 8)
+	labels := make([]int, n)
+	for i := 0; i < n; i++ {
+		cls := i % 4
+		labels[i] = cls
+		cy, cx := (cls/2)*4, (cls%2)*4
+		for dy := 0; dy < 4; dy++ {
+			for dx := 0; dx < 4; dx++ {
+				x.Set(1+0.1*rng.NormFloat64(), i, 0, cy+dy, cx+dx)
+			}
+		}
+	}
+	opt := NewSGD(0.05, 0.9, 0)
+	first := net.TrainBatch(x, labels)
+	opt.Step(net.Params())
+	var last float64
+	for e := 0; e < 30; e++ {
+		last = net.TrainBatch(x, labels)
+		opt.Step(net.Params())
+	}
+	if last > first*0.5 {
+		t.Fatalf("loss did not drop: first %v last %v", first, last)
+	}
+	pred := net.Predict(x)
+	correct := 0
+	for i, p := range pred {
+		if p == labels[i] {
+			correct++
+		}
+	}
+	if correct < n*9/10 {
+		t.Fatalf("training accuracy %d/%d too low", correct, n)
+	}
+}
+
+func TestNetworkSummary(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	net := LeNetSmall(1, 16, 16, 10).Build(rng)
+	s := net.Summary()
+	if s == "" {
+		t.Fatal("empty summary")
+	}
+}
+
+func BenchmarkLeNetSmallTrainBatch(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	net := LeNetSmall(1, 16, 16, 10).Build(rng)
+	x := tensor.Randn(rng, 1, 20, 1, 16, 16)
+	labels := make([]int, 20)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	opt := NewSGD(0.01, 0.9, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.TrainBatch(x, labels)
+		opt.Step(net.Params())
+	}
+}

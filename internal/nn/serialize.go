@@ -1,0 +1,114 @@
+package nn
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Weight checkpoint format: a small binary header followed by float64
+// parameter data in layer order. The format is versioned and validates the
+// architecture name and parameter geometry on load, so a checkpoint cannot
+// silently load into the wrong model.
+const (
+	checkpointMagic   = 0x46534348 // "FSCH"
+	checkpointVersion = 1
+)
+
+// SaveWeights writes the network's parameters to w.
+func (n *Network) SaveWeights(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
+	if err := writeU32(checkpointMagic); err != nil {
+		return fmt.Errorf("nn: save header: %w", err)
+	}
+	if err := writeU32(checkpointVersion); err != nil {
+		return err
+	}
+	name := []byte(n.Arch)
+	if err := writeU32(uint32(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	params := n.Params()
+	if err := writeU32(uint32(len(params))); err != nil {
+		return err
+	}
+	for _, p := range params {
+		if err := writeU32(uint32(p.W.Len())); err != nil {
+			return err
+		}
+		for _, v := range p.W.Data() {
+			if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+				return fmt.Errorf("nn: save %s: %w", p.Name, err)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadWeights restores parameters saved by SaveWeights. The checkpoint
+// must match this network's architecture name and parameter geometry.
+func (n *Network) LoadWeights(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic, version uint32
+	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
+		return fmt.Errorf("nn: load header: %w", err)
+	}
+	if magic != checkpointMagic {
+		return fmt.Errorf("nn: not a fedsched checkpoint (magic %#x)", magic)
+	}
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return err
+	}
+	if version != checkpointVersion {
+		return fmt.Errorf("nn: unsupported checkpoint version %d", version)
+	}
+	var nameLen uint32
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return err
+	}
+	if nameLen > 1<<16 {
+		return fmt.Errorf("nn: implausible architecture name length %d", nameLen)
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return err
+	}
+	if string(name) != n.Arch {
+		return fmt.Errorf("nn: checkpoint is for %q, network is %q", name, n.Arch)
+	}
+	var count uint32
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return err
+	}
+	params := n.Params()
+	if int(count) != len(params) {
+		return fmt.Errorf("nn: checkpoint has %d parameters, network has %d", count, len(params))
+	}
+	for _, p := range params {
+		var length uint32
+		if err := binary.Read(br, binary.LittleEndian, &length); err != nil {
+			return err
+		}
+		if int(length) != p.W.Len() {
+			return fmt.Errorf("nn: parameter %s has %d values, checkpoint has %d", p.Name, p.W.Len(), length)
+		}
+		d := p.W.Data()
+		for i := range d {
+			var v float64
+			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+				return fmt.Errorf("nn: load %s: %w", p.Name, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return fmt.Errorf("nn: corrupt checkpoint: non-finite weight in %s", p.Name)
+			}
+			d[i] = v
+		}
+	}
+	return nil
+}

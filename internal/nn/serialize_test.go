@@ -1,0 +1,86 @@
+package nn
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"fedsched/internal/tensor"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	arch := LeNetSmall(1, 16, 16, 10)
+	src := arch.Build(rng)
+	var buf bytes.Buffer
+	if err := src.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := arch.Build(rng) // different random init
+	if err := dst.LoadWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	x := tensor.Randn(rng, 1, 3, 1, 16, 16)
+	a := src.Forward(x, false)
+	b := dst.Forward(x, false)
+	if !tensor.Equal(a, b, 0) {
+		t.Fatal("loaded network disagrees bit-for-bit with saved network")
+	}
+}
+
+func TestLoadRejectsWrongArchitecture(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	src := LeNetSmall(1, 16, 16, 10).Build(rng)
+	var buf bytes.Buffer
+	if err := src.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	other := VGG6Small(1, 16, 16, 10).Build(rng)
+	err := other.LoadWeights(&buf)
+	if err == nil || !strings.Contains(err.Error(), "checkpoint is for") {
+		t.Fatalf("wrong-arch load: %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	net := LeNetSmall(1, 16, 16, 10).Build(rng)
+	if err := net.LoadWeights(bytes.NewReader([]byte("not a checkpoint at all"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	if err := net.LoadWeights(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestLoadRejectsTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(34))
+	arch := LeNetSmall(1, 16, 16, 10)
+	src := arch.Build(rng)
+	var buf bytes.Buffer
+	if err := src.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := arch.Build(rng)
+	half := buf.Bytes()[:buf.Len()/2]
+	if err := dst.LoadWeights(bytes.NewReader(half)); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestLoadRejectsNonFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(35))
+	arch := MLP(4, 3, 2)
+	src := arch.Build(rng)
+	src.Params()[0].W.Data()[0] = math.NaN()
+	var buf bytes.Buffer
+	if err := src.SaveWeights(&buf); err != nil {
+		t.Fatal(err)
+	}
+	dst := arch.Build(rng)
+	if err := dst.LoadWeights(&buf); err == nil {
+		t.Fatal("NaN weight accepted")
+	}
+}

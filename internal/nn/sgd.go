@@ -1,0 +1,46 @@
+package nn
+
+import "fedsched/internal/tensor"
+
+// SGD is stochastic gradient descent with classical momentum and optional
+// L2 weight decay.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	Decay    float64
+	velocity map[*Param]*tensor.Tensor
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum, decay float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, Decay: decay, velocity: make(map[*Param]*tensor.Tensor)}
+}
+
+// Step applies one update to every parameter and zeroes the gradients.
+func (s *SGD) Step(params []*Param) {
+	for _, p := range params {
+		g := p.Grad
+		if s.Decay > 0 {
+			g.AddScaled(s.Decay, p.W)
+		}
+		if s.Momentum > 0 {
+			v, ok := s.velocity[p]
+			if !ok {
+				v = tensor.New(p.W.Shape()...)
+				s.velocity[p] = v
+			}
+			v.Scale(s.Momentum)
+			v.AddScaled(1, g)
+			p.W.AddScaled(-s.LR, v)
+		} else {
+			p.W.AddScaled(-s.LR, g)
+		}
+		g.Zero()
+	}
+}
+
+// Reset discards momentum state (used when a client receives fresh global
+// weights at the start of a federated round).
+func (s *SGD) Reset() {
+	s.velocity = make(map[*Param]*tensor.Tensor)
+}

@@ -1,0 +1,149 @@
+package profile
+
+import (
+	"sync"
+
+	"fedsched/internal/nn"
+	"fedsched/internal/regress"
+)
+
+// OnlineProfile refines training-time predictions from measurements
+// observed during real federated rounds — the paper's alternative to
+// offline profiling ("this can be done either online through a
+// bootstrapping phase or offline", §IV-B). It wraps an optional offline
+// prior and overrides it with a per-architecture least-squares fit once
+// enough live observations accumulate. Online observations capture what
+// the offline cold-start profile cannot: sustained-operation thermal
+// state.
+type OnlineProfile struct {
+	mu   sync.Mutex
+	base *DeviceProfile
+	obs  map[string][]obsPoint
+	fits map[string]*regress.Model
+	// MinObservations gates switching from the prior to the online fit.
+	MinObservations int
+}
+
+type obsPoint struct {
+	n       int
+	seconds float64
+}
+
+// NewOnline wraps an (optional, may be nil) offline prior.
+func NewOnline(base *DeviceProfile) *OnlineProfile {
+	return &OnlineProfile{
+		base:            base,
+		obs:             make(map[string][]obsPoint),
+		fits:            make(map[string]*regress.Model),
+		MinObservations: 3,
+	}
+}
+
+// Observe records a measured epoch: n samples of the architecture took the
+// given number of seconds. Observations with non-positive n or time are
+// ignored.
+func (o *OnlineProfile) Observe(arch *nn.Arch, n int, seconds float64) {
+	if n <= 0 || seconds <= 0 {
+		return
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.obs[arch.Name] = append(o.obs[arch.Name], obsPoint{n, seconds})
+	delete(o.fits, arch.Name) // invalidate the cached fit
+}
+
+// Observations returns the number of recorded measurements for the
+// architecture.
+func (o *OnlineProfile) Observations(arch *nn.Arch) int {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return len(o.obs[arch.Name])
+}
+
+// Predict estimates the epoch time for n samples: the online fit once
+// enough observations exist (and they span more than one data size),
+// otherwise the offline prior, otherwise a mean-rate extrapolation of
+// whatever observations exist.
+func (o *OnlineProfile) Predict(arch *nn.Arch, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	pts := o.obs[arch.Name]
+	if len(pts) >= o.MinObservations && spansSizes(pts) {
+		m, ok := o.fits[arch.Name]
+		if !ok {
+			m = fitPoints(pts)
+			if m != nil {
+				o.fits[arch.Name] = m
+			}
+		}
+		if m != nil {
+			v := m.Predict([]float64{float64(n)})
+			if v > 0 {
+				return v
+			}
+			return 0
+		}
+	}
+	if o.base != nil {
+		pred := o.base.Predict(arch, n)
+		if len(pts) > 0 {
+			// Too few (or size-degenerate) observations for a fit of our
+			// own, but enough to detect drift: scale the prior by the
+			// observed/predicted ratio. This is what lets the adaptive
+			// controller react when a device degrades under a static
+			// schedule that keeps feeding it one data size.
+			obs, expect := 0.0, 0.0
+			for _, p := range pts {
+				obs += p.seconds
+				expect += o.base.Predict(arch, p.n)
+			}
+			if expect > 0 {
+				pred *= obs / expect
+			}
+		}
+		return pred
+	}
+	if len(pts) > 0 {
+		// Mean per-sample rate from the observations we do have.
+		rate, total := 0.0, 0.0
+		for _, p := range pts {
+			rate += p.seconds
+			total += float64(p.n)
+		}
+		return rate / total * float64(n)
+	}
+	return 0
+}
+
+// spansSizes reports whether the observations cover more than one distinct
+// data size (a one-size cloud cannot identify a slope).
+func spansSizes(pts []obsPoint) bool {
+	for _, p := range pts[1:] {
+		if p.n != pts[0].n {
+			return true
+		}
+	}
+	return false
+}
+
+// fitPoints least-squares-fits seconds ~ n, clamping negative slopes to
+// keep Property 1 (monotone costs).
+func fitPoints(pts []obsPoint) *regress.Model {
+	xs := make([]float64, len(pts))
+	ys := make([]float64, len(pts))
+	for i, p := range pts {
+		xs[i] = float64(p.n)
+		ys[i] = p.seconds
+	}
+	m, err := regress.FitSimple(xs, ys)
+	if err != nil {
+		return nil
+	}
+	if m.Coef[1] < 0 {
+		m.Coef[1] = 0
+	}
+	return m
+}

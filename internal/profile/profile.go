@@ -1,0 +1,186 @@
+// Package profile implements the paper's two-step performance profiler
+// (§IV-B, Fig 4). Step 1 fits, for each calibration data size, a multiple
+// linear regression of measured training time against the number of
+// convolutional and dense parameters across a suite of architectures
+// (Eq. 1). Step 2 takes the per-size predictions for a (possibly unseen)
+// architecture and fits training time against data size, yielding the
+// T_j(D) cost curves consumed by the schedulers.
+package profile
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"sync"
+
+	"fedsched/internal/device"
+	"fedsched/internal/nn"
+	"fedsched/internal/regress"
+)
+
+// Step1Fit is the Eq.-1 regression for one calibration data size:
+// time = β₀ + β₁·convParams + β₂·denseParams.
+type Step1Fit struct {
+	DataSize int       `json:"data_size"`
+	Coef     []float64 `json:"coef"` // β₀, β₁, β₂
+	R2       float64   `json:"r2"`
+}
+
+// Predict evaluates the step-1 model for an architecture's parameter split.
+func (f Step1Fit) Predict(convParams, denseParams int) float64 {
+	return f.Coef[0] + f.Coef[1]*float64(convParams) + f.Coef[2]*float64(denseParams)
+}
+
+// DeviceProfile holds the fitted step-1 models of one device and lazily
+// derives step-2 (time vs data size) lines per architecture.
+type DeviceProfile struct {
+	Device string     `json:"device"`
+	Step1  []Step1Fit `json:"step1"`
+
+	mu    sync.Mutex
+	step2 map[string][2]float64 // arch name → (intercept, slope)
+}
+
+// DefaultSizes is the calibration grid of data sizes.
+var DefaultSizes = []int{500, 1000, 2000, 3000, 4000, 6000}
+
+// Suite returns the profiling architecture suite: scaled LeNet and VGG6
+// variants plus an MLP, spanning a wide range of convolutional and dense
+// parameter counts so that the step-1 regression is well conditioned the
+// way the paper's "k different model architectures" are (§IV-B). All take
+// inC×inH×inW input.
+func Suite(inC, inH, inW, classes int) []*nn.Arch {
+	return []*nn.Arch{
+		nn.LeNetVariant(inC, inH, inW, classes, 0.5),
+		nn.LeNetVariant(inC, inH, inW, classes, 1),
+		nn.LeNetVariant(inC, inH, inW, classes, 2),
+		nn.VGG6Variant(inC, inH, inW, classes, 0.5),
+		nn.VGG6Variant(inC, inH, inW, classes, 1),
+		nn.VGG6Variant(inC, inH, inW, classes, 1.5),
+		nn.MLP(inC*inH*inW, 256, classes),
+	}
+}
+
+// BuildOffline measures cold-start epoch times for every (architecture,
+// size) pair on the device simulator and fits the step-1 models. This is
+// the offline bootstrapping phase of §IV-B.
+func BuildOffline(dev *device.Device, arches []*nn.Arch, sizes []int) (*DeviceProfile, error) {
+	if len(arches) < 3 {
+		return nil, fmt.Errorf("profile: need ≥3 architectures for a 3-coefficient fit, got %d", len(arches))
+	}
+	p := &DeviceProfile{Device: dev.Model, step2: make(map[string][2]float64)}
+	for _, d := range sizes {
+		x := make([][]float64, len(arches))
+		y := make([]float64, len(arches))
+		for i, a := range arches {
+			conv, dense := a.ParamCounts()
+			x[i] = []float64{float64(conv), float64(dense)}
+			y[i] = dev.ColdEpochTime(a, d)
+		}
+		m, err := regress.Fit(x, y)
+		if err != nil {
+			return nil, fmt.Errorf("profile: step-1 fit for size %d: %w", d, err)
+		}
+		p.Step1 = append(p.Step1, Step1Fit{DataSize: d, Coef: m.Coef, R2: m.R2})
+	}
+	sort.Slice(p.Step1, func(i, j int) bool { return p.Step1[i].DataSize < p.Step1[j].DataSize })
+	return p, nil
+}
+
+// step2Line returns (intercept, slope) of the time-vs-data-size line for
+// the architecture, fitting it on first use.
+func (p *DeviceProfile) step2Line(a *nn.Arch) [2]float64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.step2 == nil {
+		p.step2 = make(map[string][2]float64)
+	}
+	if line, ok := p.step2[a.Name]; ok {
+		return line
+	}
+	conv, dense := a.ParamCounts()
+	xs := make([]float64, len(p.Step1))
+	ys := make([]float64, len(p.Step1))
+	for i, f := range p.Step1 {
+		xs[i] = float64(f.DataSize)
+		ys[i] = f.Predict(conv, dense)
+	}
+	m, err := regress.FitSimple(xs, ys)
+	if err != nil {
+		// Degenerate grids cannot happen with DefaultSizes; fall back to a
+		// flat line through the mean rather than failing a scheduling run.
+		mean := regress.Mean(ys)
+		line := [2]float64{mean, 0}
+		p.step2[a.Name] = line
+		return line
+	}
+	line := [2]float64{m.Coef[0], m.Coef[1]}
+	if line[1] < 0 {
+		// Property 1 requires a non-decreasing cost curve; negative slopes
+		// are measurement artifacts.
+		line[1] = 0
+	}
+	p.step2[a.Name] = line
+	return line
+}
+
+// Predict returns the estimated training time (seconds) for n samples of
+// the architecture on this device. Predictions are clamped at ≥0 and are
+// non-decreasing in n (Property 1).
+func (p *DeviceProfile) Predict(a *nn.Arch, n int) float64 {
+	if n <= 0 {
+		return 0
+	}
+	line := p.step2Line(a)
+	t := line[0] + line[1]*float64(n)
+	if t < 0 {
+		return 0
+	}
+	return t
+}
+
+// MarshalJSON implements json.Marshaler (profiles persist between runs).
+func (p *DeviceProfile) MarshalJSON() ([]byte, error) {
+	return json.Marshal(struct {
+		Device string     `json:"device"`
+		Step1  []Step1Fit `json:"step1"`
+	}{p.Device, p.Step1})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *DeviceProfile) UnmarshalJSON(b []byte) error {
+	var raw struct {
+		Device string     `json:"device"`
+		Step1  []Step1Fit `json:"step1"`
+	}
+	if err := json.Unmarshal(b, &raw); err != nil {
+		return err
+	}
+	p.Device = raw.Device
+	p.Step1 = raw.Step1
+	p.step2 = make(map[string][2]float64)
+	return nil
+}
+
+// BuildTestbed profiles every device of a testbed with the default suite
+// and sizes. The input geometry describes the dataset the devices will
+// train (e.g. 1×28×28 for MNIST-class data).
+func BuildTestbed(profiles []device.Profile, inC, inH, inW, classes int) ([]*DeviceProfile, error) {
+	suite := Suite(inC, inH, inW, classes)
+	out := make([]*DeviceProfile, len(profiles))
+	// Device models with identical hardware share one measurement pass.
+	cache := make(map[string]*DeviceProfile)
+	for i, dp := range profiles {
+		if got, ok := cache[dp.Model]; ok {
+			out[i] = got
+			continue
+		}
+		p, err := BuildOffline(device.New(dp), suite, DefaultSizes)
+		if err != nil {
+			return nil, err
+		}
+		cache[dp.Model] = p
+		out[i] = p
+	}
+	return out, nil
+}

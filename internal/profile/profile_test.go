@@ -1,0 +1,135 @@
+package profile
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+
+	"fedsched/internal/device"
+	"fedsched/internal/nn"
+)
+
+func buildTestProfile(t *testing.T, p device.Profile) *DeviceProfile {
+	t.Helper()
+	dev := device.New(p)
+	prof, err := BuildOffline(dev, Suite(1, 28, 28, 10), DefaultSizes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prof
+}
+
+func TestBuildOfflineFitsWell(t *testing.T) {
+	prof := buildTestProfile(t, device.Nexus6())
+	if len(prof.Step1) != len(DefaultSizes) {
+		t.Fatalf("%d step-1 fits, want %d", len(prof.Step1), len(DefaultSizes))
+	}
+	for _, f := range prof.Step1 {
+		if f.R2 < 0.95 {
+			t.Errorf("size %d: step-1 R² = %.3f, want ≥0.95", f.DataSize, f.R2)
+		}
+	}
+}
+
+func TestPredictAccuracyOnSeenArch(t *testing.T) {
+	// The profiler must predict epoch times near the simulator's ground
+	// truth for architectures in the suite (Fig 4b's "small gap").
+	lenet := nn.LeNet(1, 28, 28, 10)
+	for _, dp := range []device.Profile{device.Nexus6(), device.Mate10(), device.Pixel2()} {
+		prof := buildTestProfile(t, dp)
+		dev := device.New(dp)
+		for _, n := range []int{1500, 2500, 5000} {
+			want := dev.ColdEpochTime(lenet, n)
+			got := prof.Predict(lenet, n)
+			if math.Abs(got-want)/want > 0.25 {
+				t.Errorf("%s n=%d: predicted %.1f s, simulated %.1f s", dp.Model, n, got, want)
+			}
+		}
+	}
+}
+
+func TestPredictUnseenArchitecture(t *testing.T) {
+	// Predict an architecture NOT in the profiling suite (step 1's whole
+	// point): an intermediate LeNet scaling.
+	unseen := nn.LeNetVariant(1, 28, 28, 10, 1.5)
+	prof := buildTestProfile(t, device.Pixel2())
+	dev := device.New(device.Pixel2())
+	want := dev.ColdEpochTime(unseen, 3000)
+	got := prof.Predict(unseen, 3000)
+	if math.Abs(got-want)/want > 0.3 {
+		t.Fatalf("unseen arch: predicted %.1f s, simulated %.1f s", got, want)
+	}
+}
+
+func TestPredictMonotoneNonNegative(t *testing.T) {
+	prof := buildTestProfile(t, device.Nexus6P())
+	lenet := nn.LeNet(1, 28, 28, 10)
+	prev := -1.0
+	for n := 0; n <= 8000; n += 400 {
+		v := prof.Predict(lenet, n)
+		if v < 0 {
+			t.Fatalf("negative prediction at n=%d: %v", n, v)
+		}
+		if v < prev {
+			t.Fatalf("prediction not monotone at n=%d: %v < %v", n, v, prev)
+		}
+		prev = v
+	}
+	if prof.Predict(lenet, 0) != 0 || prof.Predict(lenet, -3) != 0 {
+		t.Fatal("zero samples must predict zero time")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	prof := buildTestProfile(t, device.Mate10())
+	blob, err := json.Marshal(prof)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back DeviceProfile
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	lenet := nn.LeNet(1, 28, 28, 10)
+	if a, b := prof.Predict(lenet, 2345), back.Predict(lenet, 2345); math.Abs(a-b) > 1e-9 {
+		t.Fatalf("prediction changed across serialization: %v vs %v", a, b)
+	}
+	if back.Device != "Mate10" {
+		t.Fatalf("device name lost: %q", back.Device)
+	}
+}
+
+func TestBuildOfflineRejectsTinySuite(t *testing.T) {
+	dev := device.New(device.Nexus6())
+	if _, err := BuildOffline(dev, Suite(1, 28, 28, 10)[:2], DefaultSizes); err == nil {
+		t.Fatal("expected error with <3 architectures")
+	}
+}
+
+func TestBuildTestbedSharesMeasurements(t *testing.T) {
+	profs, err := BuildTestbed(device.Testbed(2), 1, 28, 28, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(profs) != 6 {
+		t.Fatalf("%d profiles", len(profs))
+	}
+	// Testbed 2 is 2×Nexus6, 2×Nexus6P, 1×Mate10, 1×Pixel2: identical
+	// models share the same profile object.
+	if profs[0] != profs[1] || profs[2] != profs[3] {
+		t.Fatal("identical device models should share a profile")
+	}
+	if profs[0] == profs[2] {
+		t.Fatal("different device models must not share a profile")
+	}
+}
+
+func TestProfileOrderingMatchesDeviceSpeed(t *testing.T) {
+	// Faster devices must profile faster: Pixel2 < Nexus6 on LeNet.
+	lenet := nn.LeNet(1, 28, 28, 10)
+	fast := buildTestProfile(t, device.Pixel2())
+	slow := buildTestProfile(t, device.Nexus6P())
+	if fast.Predict(lenet, 3000) >= slow.Predict(lenet, 3000) {
+		t.Fatal("profile ordering contradicts device speeds")
+	}
+}

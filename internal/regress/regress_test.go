@@ -1,0 +1,210 @@
+package regress
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestFitRecoversPlantedCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	want := []float64{3.5, 2.0, -1.25}
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 200; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		x = append(x, []float64{a, b})
+		y = append(y, want[0]+want[1]*a+want[2]*b+rng.NormFloat64()*0.01)
+	}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(m.Coef[i]-want[i]) > 0.01 {
+			t.Fatalf("coef %d = %v, want %v", i, m.Coef[i], want[i])
+		}
+	}
+	if m.R2 < 0.999 {
+		t.Fatalf("R2 = %v, want near 1", m.R2)
+	}
+}
+
+func TestFitExactNoiselessProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		b0, b1, b2 := r.NormFloat64(), r.NormFloat64(), r.NormFloat64()
+		var x [][]float64
+		var y []float64
+		for i := 0; i < 20; i++ {
+			a, b := r.Float64()*5, r.Float64()*5
+			x = append(x, []float64{a, b})
+			y = append(y, b0+b1*a+b2*b)
+		}
+		m, err := Fit(x, y)
+		if err != nil {
+			return false
+		}
+		return math.Abs(m.Coef[0]-b0) < 1e-6 &&
+			math.Abs(m.Coef[1]-b1) < 1e-6 &&
+			math.Abs(m.Coef[2]-b2) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitSimpleLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 1 + 2x
+	m, err := FitSimple(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Coef[0]-1) > 1e-9 || math.Abs(m.Coef[1]-2) > 1e-9 {
+		t.Fatalf("coef = %v, want [1 2]", m.Coef)
+	}
+	if got := m.Predict([]float64{10}); math.Abs(got-21) > 1e-9 {
+		t.Fatalf("Predict(10) = %v, want 21", got)
+	}
+}
+
+func TestFitSingularOnCollinear(t *testing.T) {
+	var x [][]float64
+	var y []float64
+	for i := 0; i < 10; i++ {
+		v := float64(i)
+		x = append(x, []float64{v, 2 * v}) // perfectly collinear
+		y = append(y, v)
+	}
+	if _, err := Fit(x, y); err == nil {
+		t.Fatal("expected ErrSingular for collinear features")
+	}
+}
+
+func TestFitErrorsOnBadShapes(t *testing.T) {
+	if _, err := Fit(nil, nil); err == nil {
+		t.Fatal("expected error on empty input")
+	}
+	if _, err := Fit([][]float64{{1}, {2, 3}}, []float64{1, 2}); err == nil {
+		t.Fatal("expected error on ragged rows")
+	}
+	if _, err := Fit([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Fatal("expected error with fewer observations than coefficients")
+	}
+}
+
+func TestFitConstantTarget(t *testing.T) {
+	x := [][]float64{{1}, {2}, {3}}
+	y := []float64{5, 5, 5}
+	m, err := Fit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(m.Predict([]float64{9})-5) > 1e-9 {
+		t.Fatalf("constant fit broken: %v", m.Coef)
+	}
+	if m.R2 != 1 {
+		t.Fatalf("R2 for perfectly-fit constant target = %v, want 1", m.R2)
+	}
+}
+
+func TestSolveLinearKnownSystem(t *testing.T) {
+	a := [][]float64{
+		{2, 1, -1},
+		{-3, -1, 2},
+		{-2, 1, 2},
+	}
+	b := []float64{8, -11, -3}
+	x, err := SolveLinear(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 3, -1}
+	for i := range want {
+		if math.Abs(x[i]-want[i]) > 1e-9 {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestSolveLinearSingular(t *testing.T) {
+	a := [][]float64{{1, 2}, {2, 4}}
+	if _, err := SolveLinear(a, []float64{1, 2}); err == nil {
+		t.Fatal("expected singular error")
+	}
+}
+
+func TestSolveLinearNeedsPivoting(t *testing.T) {
+	// Leading zero pivot forces a row swap.
+	a := [][]float64{{0, 1}, {1, 0}}
+	x, err := SolveLinear(a, []float64{3, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-4) > 1e-12 || math.Abs(x[1]-3) > 1e-12 {
+		t.Fatalf("x = %v, want [4 3]", x)
+	}
+}
+
+func TestSolveLinearRandomProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 1 + r.Intn(6)
+		a := make([][]float64, n)
+		for i := range a {
+			a[i] = make([]float64, n)
+			for j := range a[i] {
+				a[i][j] = r.NormFloat64()
+			}
+			a[i][i] += float64(n) // diagonally dominant → well-conditioned
+		}
+		xTrue := make([]float64, n)
+		b := make([]float64, n)
+		for i := range xTrue {
+			xTrue[i] = r.NormFloat64()
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				b[i] += a[i][j] * xTrue[j]
+			}
+		}
+		x, err := SolveLinear(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if math.Abs(x[i]-xTrue[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("Mean = %v, want 5", m)
+	}
+	if s := StdDev(xs); math.Abs(s-2) > 1e-12 {
+		t.Fatalf("StdDev = %v, want 2", s)
+	}
+	if Mean(nil) != 0 || StdDev(nil) != 0 {
+		t.Fatal("empty-input mean/std should be 0")
+	}
+}
+
+func TestPredictPanicsOnWrongArity(t *testing.T) {
+	m := &Model{Coef: []float64{1, 2}}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on arity mismatch")
+		}
+	}()
+	m.Predict([]float64{1, 2})
+}

@@ -1,0 +1,59 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+)
+
+// BruteForce computes the exact minimum-makespan partition by dynamic
+// programming over users and remaining shards (O(n·s²)). It is the test
+// oracle for Fed-LBAP; do not use it for large instances.
+type BruteForce struct{}
+
+// Name implements Scheduler.
+func (BruteForce) Name() string { return "BruteForce" }
+
+// Schedule implements Scheduler (rng unused; deterministic).
+func (BruteForce) Schedule(req *Request, _ *rand.Rand) (*Assignment, error) {
+	if err := req.check(); err != nil {
+		return nil, err
+	}
+	n, s := len(req.Users), req.TotalShards
+
+	// best[j][r] = minimal makespan assigning r shards to users j..n-1.
+	best := make([][]float64, n+1)
+	choice := make([][]int, n+1)
+	for j := range best {
+		best[j] = make([]float64, s+1)
+		choice[j] = make([]int, s+1)
+		for r := range best[j] {
+			best[j][r] = math.Inf(1)
+		}
+	}
+	best[n][0] = 0
+	for j := n - 1; j >= 0; j-- {
+		capj := req.Users[j].capacity(s)
+		for r := 0; r <= s; r++ {
+			for k := 0; k <= capj && k <= r; k++ {
+				rest := best[j+1][r-k]
+				if math.IsInf(rest, 1) {
+					continue
+				}
+				m := math.Max(userCost(req, j, k), rest)
+				if m < best[j][r] {
+					best[j][r] = m
+					choice[j][r] = k
+				}
+			}
+		}
+	}
+
+	shards := make([]int, n)
+	r := s
+	for j := 0; j < n; j++ {
+		shards[j] = choice[j][r]
+		r -= shards[j]
+	}
+	asg := &Assignment{Shards: shards, Algorithm: "BruteForce", PredictedMakespan: best[0][s]}
+	return asg, nil
+}

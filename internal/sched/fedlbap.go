@@ -1,0 +1,118 @@
+package sched
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// FedLBAP is Algorithm 1: joint data partitioning and assignment for IID
+// data. It builds the n×s cost matrix C[j][k] = T_j(k·d) + comm_j, sorts
+// the distinct cost values and binary-searches the smallest threshold c*
+// for which Σ_j max{k : C[j][k] ≤ c*} ≥ s (Property 2 replaces the perfect
+// matching test of the classic LBAP). The assignment hands each user its
+// feasible maximum under c*, then trims the overshoot from the most
+// expensive marginal shards, so the makespan is exactly minimized over all
+// partitions into shards.
+type FedLBAP struct{}
+
+// Name implements Scheduler.
+func (FedLBAP) Name() string { return "Fed-LBAP" }
+
+// Schedule implements Scheduler. It runs in O(ns + n log s log(ns)) time
+// and is deterministic (rng is unused).
+func (FedLBAP) Schedule(req *Request, _ *rand.Rand) (*Assignment, error) {
+	if err := req.check(); err != nil {
+		return nil, err
+	}
+	n, s := len(req.Users), req.TotalShards
+
+	// Cost matrix rows; row j holds C[j][k] for k = 1..cap_j. Property 1
+	// (monotone costs) is enforced by taking a running maximum, so a noisy
+	// profile cannot break the binary searches below.
+	rows := make([][]float64, n)
+	values := make([]float64, 0, n*16)
+	for j, u := range req.Users {
+		capj := u.capacity(s)
+		row := make([]float64, capj)
+		prev := 0.0
+		for k := 1; k <= capj; k++ {
+			c := userCost(req, j, k)
+			if c < prev {
+				c = prev
+			}
+			row[k-1] = c
+			prev = c
+		}
+		rows[j] = row
+		values = append(values, row...)
+	}
+	sort.Float64s(values)
+
+	// feasibleShards returns Σ_j max{k : C[j][k] ≤ c}, capped at s to
+	// avoid overflow on huge capacities.
+	feasibleShards := func(c float64) int {
+		total := 0
+		for _, row := range rows {
+			// Binary search the last index with cost ≤ c.
+			lo, hi := 0, len(row) // kmax in [0, len(row)]
+			for lo < hi {
+				mid := (lo + hi) / 2
+				if almostLE(row[mid], c) {
+					lo = mid + 1
+				} else {
+					hi = mid
+				}
+			}
+			total += lo
+			if total >= s {
+				return total
+			}
+		}
+		return total
+	}
+
+	// Binary search the smallest feasible threshold over the sorted values.
+	lo, hi := 0, len(values)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if feasibleShards(values[mid]) >= s {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	cstar := values[lo]
+
+	// Hand out feasible maxima under c*.
+	shards := make([]int, n)
+	total := 0
+	for j, row := range rows {
+		k := sort.Search(len(row), func(i int) bool { return !almostLE(row[i], cstar) })
+		shards[j] = k
+		total += k
+	}
+	// Trim the overshoot: repeatedly remove the shard whose marginal cost
+	// C[j][k_j] is largest. This keeps the makespan at or below c* while
+	// freeing exactly total−s shards.
+	type marg struct {
+		j int
+		c float64
+	}
+	for total > s {
+		best := marg{-1, -1}
+		for j, k := range shards {
+			if k == 0 {
+				continue
+			}
+			if c := rows[j][k-1]; c > best.c {
+				best = marg{j, c}
+			}
+		}
+		shards[best.j]--
+		total--
+	}
+
+	asg := &Assignment{Shards: shards, Algorithm: "Fed-LBAP"}
+	asg.PredictedMakespan = Makespan(req, asg)
+	return asg, nil
+}

@@ -1,0 +1,70 @@
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// AlphaSearchResult reports one candidate from TuneAlpha.
+type AlphaSearchResult struct {
+	Alpha      float64
+	Assignment *Assignment
+}
+
+// TuneAlpha evaluates Fed-MinAvg over a grid of α values (the paper
+// searches [100, 5000], §VII) and returns the candidate whose assignment
+// minimizes objective, plus the full sweep for inspection. The request's
+// Alpha field is ignored; Beta, K, classes and costs are used as given.
+// A nil objective minimizes the predicted makespan (the paper's Fig 7
+// procedure with β=0).
+func TuneAlpha(req *Request, grid []float64, objective func(*Assignment) float64) (*AlphaSearchResult, []AlphaSearchResult, error) {
+	if len(grid) == 0 {
+		grid = DefaultAlphaGrid()
+	}
+	if objective == nil {
+		objective = func(a *Assignment) float64 { return a.PredictedMakespan }
+	}
+	var (
+		best  *AlphaSearchResult
+		bestV float64
+		sweep []AlphaSearchResult
+	)
+	for _, alpha := range grid {
+		// Work on a shallow copy so the caller's request is untouched.
+		r := *req
+		r.Alpha = alpha
+		asg, err := (FedMinAvg{}).Schedule(&r, nil)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sched: TuneAlpha at α=%g: %w", alpha, err)
+		}
+		res := AlphaSearchResult{Alpha: alpha, Assignment: asg}
+		sweep = append(sweep, res)
+		if v := objective(asg); best == nil || v < bestV {
+			b := res
+			best, bestV = &b, v
+		}
+	}
+	return best, sweep, nil
+}
+
+// DefaultAlphaGrid is the paper's α search interval [100, 5000], sampled
+// geometrically.
+func DefaultAlphaGrid() []float64 {
+	return []float64{100, 180, 320, 560, 1000, 1800, 3200, 5000}
+}
+
+// RandomClassSets draws a random class subset (1 to maxClasses of k) per
+// user — the Fig 7 "random permutations of the class distributions".
+func RandomClassSets(users, k, maxClasses int, rng *rand.Rand) [][]int {
+	if maxClasses <= 0 || maxClasses > k {
+		maxClasses = k
+	}
+	sets := make([][]int, users)
+	for u := range sets {
+		n := 1 + rng.Intn(maxClasses)
+		perm := rng.Perm(k)
+		set := append([]int(nil), perm[:n]...)
+		sets[u] = set
+	}
+	return sets
+}

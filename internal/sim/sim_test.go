@@ -1,0 +1,123 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEventsRunInTimeOrder(t *testing.T) {
+	var e Engine
+	var got []float64
+	for _, at := range []float64{5, 1, 3, 2, 4} {
+		at := at
+		e.Schedule(at, func() { got = append(got, at) })
+	}
+	if n := e.Run(); n != 5 {
+		t.Fatalf("ran %d events", n)
+	}
+	if !sort.Float64sAreSorted(got) {
+		t.Fatalf("events out of order: %v", got)
+	}
+	if e.Now() != 5 {
+		t.Fatalf("clock at %v, want 5", e.Now())
+	}
+}
+
+func TestTieBreakFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.Schedule(1, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("equal-time events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var e Engine
+	var trace []float64
+	e.After(2, func() {
+		trace = append(trace, e.Now())
+		e.After(3, func() { trace = append(trace, e.Now()) })
+	})
+	e.Run()
+	if len(trace) != 2 || trace[0] != 2 || trace[1] != 5 {
+		t.Fatalf("trace %v, want [2 5]", trace)
+	}
+}
+
+func TestRunUntilLeavesLateEvents(t *testing.T) {
+	var e Engine
+	ran := 0
+	e.Schedule(1, func() { ran++ })
+	e.Schedule(10, func() { ran++ })
+	n := e.RunUntil(5)
+	if n != 1 || ran != 1 {
+		t.Fatalf("processed %d events, ran %d", n, ran)
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("%d pending", e.Pending())
+	}
+	if e.Now() != 1 {
+		t.Fatalf("clock %v", e.Now())
+	}
+	e.Run()
+	if ran != 2 {
+		t.Fatal("late event lost")
+	}
+}
+
+func TestRunUntilAdvancesClockWhenIdle(t *testing.T) {
+	var e Engine
+	e.RunUntil(42)
+	if e.Now() != 42 {
+		t.Fatalf("clock %v, want 42", e.Now())
+	}
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.Schedule(5, func() {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic scheduling in the past")
+		}
+	}()
+	e.Schedule(1, func() {})
+}
+
+func TestNegativeAfterClamped(t *testing.T) {
+	var e Engine
+	fired := false
+	e.After(-3, func() { fired = true })
+	e.Run()
+	if !fired || e.Now() != 0 {
+		t.Fatalf("fired=%v now=%v", fired, e.Now())
+	}
+}
+
+func TestOrderingProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var e Engine
+		var got []float64
+		n := 1 + rng.Intn(50)
+		for i := 0; i < n; i++ {
+			at := rng.Float64() * 100
+			e.Schedule(at, func() { got = append(got, e.Now()) })
+		}
+		e.Run()
+		return len(got) == n && sort.Float64sAreSorted(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,88 @@
+package tensor
+
+// Im2Col lowers a batch of images (N, C, H, W) into a matrix of patch
+// columns so that a convolution with kernel (KH, KW), stride and padding
+// becomes a single matrix multiply. The result has shape
+// (N*OH*OW, C*KH*KW) where OH, OW are the output spatial dimensions.
+func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	cols := New(n*oh*ow, c*kh*kw)
+	xd, cd := x.data, cols.data
+	rowLen := c * kh * kw
+	for img := 0; img < n; img++ {
+		base := img * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := ((img*oh+oy)*ow + ox) * rowLen
+				iy0 := oy*stride - pad
+				ix0 := ox*stride - pad
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						dst := row + (ch*kh+ky)*kw
+						if iy < 0 || iy >= h {
+							continue // padded region stays zero
+						}
+						srcRow := chBase + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							cd[dst+kx] = xd[srcRow+ix]
+						}
+					}
+				}
+			}
+		}
+	}
+	return cols
+}
+
+// Col2Im is the adjoint of Im2Col: it scatters patch-column gradients back
+// into an image gradient of shape (N, C, H, W), accumulating overlaps.
+func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	x := New(n, c, h, w)
+	xd, cd := x.data, cols.data
+	rowLen := c * kh * kw
+	for img := 0; img < n; img++ {
+		base := img * c * h * w
+		for oy := 0; oy < oh; oy++ {
+			for ox := 0; ox < ow; ox++ {
+				row := ((img*oh+oy)*ow + ox) * rowLen
+				iy0 := oy*stride - pad
+				ix0 := ox*stride - pad
+				for ch := 0; ch < c; ch++ {
+					chBase := base + ch*h*w
+					for ky := 0; ky < kh; ky++ {
+						iy := iy0 + ky
+						if iy < 0 || iy >= h {
+							continue
+						}
+						src := row + (ch*kh+ky)*kw
+						dstRow := chBase + iy*w
+						for kx := 0; kx < kw; kx++ {
+							ix := ix0 + kx
+							if ix < 0 || ix >= w {
+								continue
+							}
+							xd[dstRow+ix] += cd[src+kx]
+						}
+					}
+				}
+			}
+		}
+	}
+	return x
+}
+
+// ConvOutSize returns the output spatial size for input size in, kernel k,
+// stride and padding.
+func ConvOutSize(in, k, stride, pad int) int {
+	return (in+2*pad-k)/stride + 1
+}

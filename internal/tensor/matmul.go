@@ -1,0 +1,167 @@
+package tensor
+
+import (
+	"runtime"
+	"sync"
+)
+
+// parallelThreshold is the number of output elements above which MatMul
+// fans out across goroutines. Small multiplies stay single-threaded to
+// avoid scheduling overhead.
+const parallelThreshold = 64 * 64
+
+// MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n) and returns
+// a new m×n tensor. It panics on shape mismatch.
+func MatMul(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	if b.Dim(0) != k {
+		panic("tensor: MatMul inner dimension mismatch")
+	}
+	n := b.Dim(1)
+	c := New(m, n)
+	MatMulInto(c, a, b)
+	return c
+}
+
+// MatMulInto computes dst = A·B, overwriting dst. dst must be m×n.
+func MatMulInto(dst, a, b *Tensor) {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	if b.Dim(0) != k || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	ad, bd, cd := a.data, b.data, dst.data
+	for i := range cd {
+		cd[i] = 0
+	}
+	rowKernel := func(i0, i1 int) {
+		// i-k-j loop order: streams through B rows, autovectorizes well.
+		for i := i0; i < i1; i++ {
+			ci := cd[i*n : (i+1)*n]
+			for l := 0; l < k; l++ {
+				av := ad[i*k+l]
+				if av == 0 {
+					continue
+				}
+				bi := bd[l*n : (l+1)*n]
+				for j, bv := range bi {
+					ci[j] += av * bv
+				}
+			}
+		}
+	}
+	if m*n < parallelThreshold || m < 2 {
+		rowKernel(0, m)
+		return
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		i0 := w * chunk
+		i1 := i0 + chunk
+		if i1 > m {
+			i1 = m
+		}
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			rowKernel(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+}
+
+// MatMulTransA computes C = Aᵀ·B where A is k×m and B is k×n, yielding m×n.
+func MatMulTransA(a, b *Tensor) *Tensor {
+	k, m := a.Dim(0), a.Dim(1)
+	if b.Dim(0) != k {
+		panic("tensor: MatMulTransA inner dimension mismatch")
+	}
+	n := b.Dim(1)
+	c := New(m, n)
+	ad, bd, cd := a.data, b.data, c.data
+	for l := 0; l < k; l++ {
+		arow := ad[l*m : (l+1)*m]
+		brow := bd[l*n : (l+1)*n]
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			ci := cd[i*n : (i+1)*n]
+			for j, bv := range brow {
+				ci[j] += av * bv
+			}
+		}
+	}
+	return c
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is m×k and B is n×k, yielding m×n.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(0)
+	if b.Dim(1) != k {
+		panic("tensor: MatMulTransB inner dimension mismatch")
+	}
+	c := New(m, n)
+	ad, bd, cd := a.data, b.data, c.data
+	kernel := func(i0, i1 int) {
+		for i := i0; i < i1; i++ {
+			ai := ad[i*k : (i+1)*k]
+			ci := cd[i*n : (i+1)*n]
+			for j := 0; j < n; j++ {
+				bj := bd[j*k : (j+1)*k]
+				s := 0.0
+				for l, av := range ai {
+					s += av * bj[l]
+				}
+				ci[j] = s
+			}
+		}
+	}
+	if m*n < parallelThreshold || m < 2 {
+		kernel(0, m)
+		return c
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if workers > m {
+		workers = m
+	}
+	var wg sync.WaitGroup
+	chunk := (m + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		i0, i1 := w*chunk, (w+1)*chunk
+		if i1 > m {
+			i1 = m
+		}
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			kernel(i0, i1)
+		}(i0, i1)
+	}
+	wg.Wait()
+	return c
+}
+
+// Transpose returns the transpose of a 2-D tensor.
+func Transpose(a *Tensor) *Tensor {
+	m, n := a.Dim(0), a.Dim(1)
+	t := New(n, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			t.data[j*m+i] = a.data[i*n+j]
+		}
+	}
+	return t
+}

@@ -1,0 +1,206 @@
+// Package tensor provides dense float64 tensors and the numerical kernels
+// (matrix multiply, im2col, elementwise maps) used by the neural-network
+// training substrate. Everything is CPU-only, allocation-conscious and
+// parallelized across goroutines where the problem size warrants it.
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense, row-major float64 tensor. The zero value is an empty
+// tensor; use New or From to construct usable instances.
+type Tensor struct {
+	shape []int
+	data  []float64
+}
+
+// New returns a zero-filled tensor with the given shape. It panics if any
+// dimension is negative.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		if d < 0 {
+			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+		}
+		n *= d
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: make([]float64, n)}
+}
+
+// From wraps the given data slice in a tensor with the given shape. The
+// slice is used directly (not copied); it panics if the length does not
+// match the shape volume.
+func From(data []float64, shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(data) {
+		panic(fmt.Sprintf("tensor: data length %d does not match shape %v (need %d)", len(data), shape, n))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: data}
+}
+
+// Randn fills a new tensor of the given shape with samples from a normal
+// distribution with the given standard deviation, using rng.
+func Randn(rng *rand.Rand, std float64, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.data {
+		t.data[i] = rng.NormFloat64() * std
+	}
+	return t
+}
+
+// Shape returns the tensor shape. The returned slice must not be mutated.
+func (t *Tensor) Shape() []int { return t.shape }
+
+// Data returns the backing slice in row-major order. Mutations are visible
+// to the tensor.
+func (t *Tensor) Data() []float64 { return t.data }
+
+// Len returns the total number of elements.
+func (t *Tensor) Len() int { return len(t.data) }
+
+// Dim returns the size of dimension i.
+func (t *Tensor) Dim(i int) int { return t.shape[i] }
+
+// Rank returns the number of dimensions.
+func (t *Tensor) Rank() int { return len(t.shape) }
+
+// At returns the element at the given multi-index.
+func (t *Tensor) At(idx ...int) float64 {
+	return t.data[t.offset(idx)]
+}
+
+// Set assigns the element at the given multi-index.
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.data[t.offset(idx)] = v
+}
+
+func (t *Tensor) offset(idx []int) int {
+	if len(idx) != len(t.shape) {
+		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
+	}
+	off := 0
+	for i, x := range idx {
+		if x < 0 || x >= t.shape[i] {
+			panic(fmt.Sprintf("tensor: index %v out of range for shape %v", idx, t.shape))
+		}
+		off = off*t.shape[i] + x
+	}
+	return off
+}
+
+// Clone returns a deep copy of the tensor.
+func (t *Tensor) Clone() *Tensor {
+	c := New(t.shape...)
+	copy(c.data, t.data)
+	return c
+}
+
+// Reshape returns a tensor sharing t's data with a new shape of equal
+// volume. It panics on volume mismatch.
+func (t *Tensor) Reshape(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	if n != len(t.data) {
+		panic(fmt.Sprintf("tensor: cannot reshape %v (len %d) to %v", t.shape, len(t.data), shape))
+	}
+	s := make([]int, len(shape))
+	copy(s, shape)
+	return &Tensor{shape: s, data: t.data}
+}
+
+// Zero sets all elements to zero.
+func (t *Tensor) Zero() {
+	for i := range t.data {
+		t.data[i] = 0
+	}
+}
+
+// Fill sets all elements to v.
+func (t *Tensor) Fill(v float64) {
+	for i := range t.data {
+		t.data[i] = v
+	}
+}
+
+// Scale multiplies every element by a.
+func (t *Tensor) Scale(a float64) {
+	for i := range t.data {
+		t.data[i] *= a
+	}
+}
+
+// AddScaled adds a*src to t elementwise. The tensors must have equal length.
+func (t *Tensor) AddScaled(a float64, src *Tensor) {
+	if len(src.data) != len(t.data) {
+		panic("tensor: AddScaled length mismatch")
+	}
+	for i, v := range src.data {
+		t.data[i] += a * v
+	}
+}
+
+// Add adds src to t elementwise.
+func (t *Tensor) Add(src *Tensor) { t.AddScaled(1, src) }
+
+// Apply replaces every element x with f(x).
+func (t *Tensor) Apply(f func(float64) float64) {
+	for i, v := range t.data {
+		t.data[i] = f(v)
+	}
+}
+
+// Sum returns the sum of all elements.
+func (t *Tensor) Sum() float64 {
+	s := 0.0
+	for _, v := range t.data {
+		s += v
+	}
+	return s
+}
+
+// MaxAbs returns the largest absolute element value (0 for empty tensors).
+func (t *Tensor) MaxAbs() float64 {
+	m := 0.0
+	for _, v := range t.data {
+		if a := math.Abs(v); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// Equal reports whether two tensors have identical shapes and elements
+// within tolerance eps.
+func Equal(a, b *Tensor, eps float64) bool {
+	if len(a.shape) != len(b.shape) {
+		return false
+	}
+	for i := range a.shape {
+		if a.shape[i] != b.shape[i] {
+			return false
+		}
+	}
+	for i := range a.data {
+		if math.Abs(a.data[i]-b.data[i]) > eps {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders a compact description, not the full contents.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("Tensor%v", t.shape)
+}
