@@ -1,0 +1,28 @@
+# Tier-1 gate plus the parallel-engine checks. `make check` is what CI
+# should run; `race` exercises the worker pools and tensor lane semaphore
+# under the race detector (slow: the fl suite retrains real models).
+
+GO ?= go
+
+.PHONY: build test vet check race bench bench-parallel
+
+build:
+	$(GO) build ./...
+
+test: build
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+check: build vet test
+
+race:
+	$(GO) test -race ./internal/fl/... ./internal/tensor/...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .
+
+# The serial-vs-pool pair behind BENCH_fl_parallel.json.
+bench-parallel:
+	$(GO) test -run '^$$' -bench 'BenchmarkRun(Serial|Parallel)$$' -benchtime=3x -benchmem .

@@ -10,10 +10,14 @@
 package fedsched_test
 
 import (
+	"math/rand"
+	"runtime"
 	"testing"
 
 	"fedsched"
+	"fedsched/internal/data"
 	"fedsched/internal/experiments"
+	"fedsched/internal/tensor"
 )
 
 func benchExperiment(b *testing.B, id string) {
@@ -104,6 +108,37 @@ func BenchmarkSimulatedEpochTestbed3(b *testing.B) {
 		}
 	}
 }
+
+// Parallel-engine benchmarks: the same federated run on Testbed II
+// (6 devices), serial vs the bounded worker pool. Results are
+// bit-identical by construction (see internal/fl/parallel_test.go); this
+// pair measures only the wall-clock difference. The pool sizes itself
+// from GOMAXPROCS, so the speedup tracks the core count of the machine
+// running the benchmark.
+func benchFederated(b *testing.B, workers int) {
+	b.Helper()
+	prevLanes := tensor.MaxLanes()
+	tensor.SetMaxLanes(runtime.GOMAXPROCS(0) - 1)
+	defer tensor.SetMaxLanes(prevLanes)
+
+	tb := fedsched.NewTestbed(2)
+	train := fedsched.SMNIST(1200, 1)
+	test := fedsched.SMNIST(200, 2)
+	part := data.IIDEqual(train, len(tb.Profiles), rand.New(rand.NewSource(1)))
+	cfg := fedsched.RunConfig{
+		Arch: fedsched.LeNetSmall(1, 16, 16, 10), Rounds: 2, BatchSize: 20,
+		LR: 0.02, Momentum: 0.9, Seed: 1, Workers: workers,
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := tb.RunFederated(cfg, train, part, test); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRunSerial(b *testing.B)   { benchFederated(b, 1) }
+func BenchmarkRunParallel(b *testing.B) { benchFederated(b, 0) }
 
 // Extension experiments (ablations and optional directions).
 func BenchmarkExtEnergy(b *testing.B)      { benchExperiment(b, "ext-energy") }

@@ -16,8 +16,9 @@ func main() {
 		exp   = flag.String("exp", "", "experiment id (fig1..fig7, tab2..tab5) or 'all'")
 		quick = flag.Bool("quick", false, "reduced workloads for a fast pass")
 		seed  = flag.Int64("seed", 1, "random seed")
-		list  = flag.Bool("list", false, "list experiment ids")
-		csv   = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		list    = flag.Bool("list", false, "list experiment ids")
+		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers = flag.Int("workers", 0, "concurrent client training per round (0 = GOMAXPROCS, <0 = sequential); results are seed-identical for any value")
 	)
 	flag.Parse()
 	if *list || *exp == "" {
@@ -30,7 +31,7 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()

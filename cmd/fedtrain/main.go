@@ -35,6 +35,7 @@ func main() {
 		beta      = flag.Float64("beta", 2, "Fed-MinAvg unseen-class reward")
 		secure    = flag.Bool("secure", false, "secure aggregation (pairwise masks)")
 		deadline  = flag.Float64("deadline", 0, "per-round deadline in seconds (0 = wait for all)")
+		workers   = flag.Int("workers", 0, "concurrent client training per round (0 = GOMAXPROCS, <0 = sequential); results are seed-identical for any value")
 		ckpt      = flag.String("checkpoint", "", "write final model weights to this file")
 	)
 	flag.Parse()
@@ -124,6 +125,7 @@ func main() {
 	hist, err := tb.RunFederated(fedsched.RunConfig{
 		Arch: arch, Rounds: *rounds, LR: *lr, Momentum: *momentum,
 		Seed: *seed, EvalEvery: 1, SecureAgg: *secure, DeadlineSeconds: *deadline,
+		Workers: *workers,
 	}, train, part, test)
 	check(err)
 

@@ -15,16 +15,17 @@ import (
 
 func main() {
 	var (
-		out   = flag.String("o", "", "output file (default stdout)")
-		quick = flag.Bool("quick", false, "reduced training workloads")
-		seed  = flag.Int64("seed", 1, "random seed")
+		out     = flag.String("o", "", "output file (default stdout)")
+		quick   = flag.Bool("quick", false, "reduced training workloads")
+		seed    = flag.Int64("seed", 1, "random seed")
+		workers = flag.Int("workers", 0, "concurrent client training per round (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
 	var b strings.Builder
 	fmt.Fprintf(&b, "# Regenerated evaluation (%s, quick=%v, seed=%d)\n",
 		time.Now().Format("2006-01-02"), *quick, *seed)
-	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
 	for _, id := range experiments.IDs() {
 		d, _ := experiments.Lookup(id)
 		start := time.Now()

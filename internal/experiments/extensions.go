@@ -98,7 +98,7 @@ func ExtAsync(o Options) (*Report, error) {
 	}
 	cfg := fl.Config{
 		Arch: smallArch("LeNet", train.C), Rounds: rounds, BatchSize: 20,
-		LR: 0.02, Momentum: 0.9, Seed: o.Seed,
+		LR: 0.02, Momentum: 0.9, Seed: o.Seed, Workers: o.Workers,
 	}
 	syncClients, err := mkClients()
 	if err != nil {
@@ -151,7 +151,7 @@ func ExtSecAgg(o Options) (*Report, error) {
 		}
 		cfg := fl.Config{
 			Arch: smallArch("LeNet", train.C), Rounds: rounds, BatchSize: 20,
-			LR: 0.02, Momentum: 0.9, Seed: o.Seed, SecureAgg: secure,
+			LR: 0.02, Momentum: 0.9, Seed: o.Seed, SecureAgg: secure, Workers: o.Workers,
 		}
 		start := time.Now()
 		hist, err := fl.Run(cfg, clients, test)
@@ -180,7 +180,7 @@ func ExtGossip(o Options) (*Report, error) {
 	train, test := data.TrainTest(data.SMNISTConfig(0, o.Seed+85), trainN, testN)
 	cfg := fl.Config{
 		Arch: smallArch("LeNet", train.C), Rounds: rounds, BatchSize: 20,
-		LR: 0.02, Momentum: 0.9, Seed: o.Seed,
+		LR: 0.02, Momentum: 0.9, Seed: o.Seed, Workers: o.Workers,
 	}
 	mkClients := func() ([]*fl.Client, error) {
 		part := data.IIDEqual(train, users, rand.New(rand.NewSource(o.Seed)))

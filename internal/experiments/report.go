@@ -19,6 +19,10 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed int64
+	// Workers bounds concurrent client training inside the federated
+	// engines (fl.Config.Workers): 0 = GOMAXPROCS, negative = strictly
+	// sequential. Results are identical for any value at a fixed Seed.
+	Workers int
 }
 
 // Table is a formatted result table.

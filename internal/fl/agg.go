@@ -1,0 +1,44 @@
+package fl
+
+import "fedsched/internal/tensor"
+
+// accumulateWeighted adds weight·w[i] into sum[i] for every tensor — the
+// FedAvg weighted-sum inner loop shared by the synchronous, asynchronous
+// and gossip engines. sum and w must have matching lengths and shapes.
+func accumulateWeighted(sum, w []*tensor.Tensor, weight float64) {
+	for i, t := range w {
+		sum[i].AddScaled(weight, t)
+	}
+}
+
+// scaleWeights multiplies every tensor in ws by a.
+func scaleWeights(ws []*tensor.Tensor, a float64) {
+	for _, t := range ws {
+		t.Scale(a)
+	}
+}
+
+// zeroWeights clears every tensor in ws.
+func zeroWeights(ws []*tensor.Tensor) {
+	for _, t := range ws {
+		t.Zero()
+	}
+}
+
+// newWeightsLike allocates zeroed tensors with the same shapes as ws.
+func newWeightsLike(ws []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ws))
+	for i, w := range ws {
+		out[i] = tensor.New(w.Shape()...)
+	}
+	return out
+}
+
+// cloneWeights deep-copies a weight list.
+func cloneWeights(ws []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ws))
+	for i, w := range ws {
+		out[i] = w.Clone()
+	}
+	return out
+}

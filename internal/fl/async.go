@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 
 	"fedsched/internal/data"
 	"fedsched/internal/nn"
@@ -59,6 +60,14 @@ type AsyncHistory struct {
 // the simulated testbed. Every client loops download → local epoch →
 // upload; the server merges each upload immediately, so fast devices never
 // wait for stragglers — at the price of stale gradients.
+//
+// Real wall-clock parallelism: a client's local epoch is a pure function
+// of the weights it pulled and its own RNG/optimizer state, both fixed
+// the moment its cycle starts, so with Workers > 1 the gradient descent
+// runs ahead on a bounded pool of background futures while the virtual
+// event loop advances other clients. The loop joins each future at the
+// client's merge event, which keeps every server merge in exact virtual
+// time order — results are bit-identical to the sequential engine.
 func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHistory, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Arch == nil {
@@ -98,6 +107,32 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 		return (cfg.MaxUpdates > 0 && hist.Updates >= cfg.MaxUpdates) || engine.Now() > deadline
 	}
 
+	workers := workerCount(cfg.Workers, len(active))
+	// outstanding counts in-flight training futures; it is only touched
+	// from the event-loop goroutine. inflight joins every future before
+	// RunAsync returns so no goroutine outlives the engine.
+	outstanding := 0
+	var inflight sync.WaitGroup
+
+	// localEpoch runs one full local epoch on c starting from the pulled
+	// weights — the compute-heavy, side-effect-free-outside-c part of a
+	// cycle.
+	localEpoch := func(c *Client, pulled []*tensor.Tensor) {
+		c.net.SetWeights(pulled)
+		c.opt.Reset()
+		c.Local.Shuffle(c.rng)
+		n := c.Local.Len()
+		for i := 0; i < n; i += cfg.BatchSize {
+			end := i + cfg.BatchSize
+			if end > n {
+				end = n
+			}
+			x, y := c.Local.Batch(i, end)
+			c.net.TrainBatch(x, y)
+			c.opt.Step(c.net.Params())
+		}
+	}
+
 	// cycle runs one client iteration: the closure chain mirrors the
 	// download → train → upload pipeline in virtual time.
 	var cycle func(c *Client)
@@ -107,28 +142,39 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 		}
 		versionAtPull := version
 		pulled := cloneWeights(globalW)
+		// Speculatively start the local epoch on a background future when
+		// the pool has room and the lane budget allows it. The inputs are
+		// frozen (pulled is a snapshot; c's state is untouched until the
+		// join below), so the future computes exactly what the inline
+		// path would.
+		var trained chan struct{}
+		if workers > 1 && outstanding < workers && tensor.TryAcquireLanes(1) == 1 {
+			outstanding++
+			trained = make(chan struct{})
+			inflight.Add(1)
+			go func() {
+				defer inflight.Done()
+				localEpoch(c, pulled)
+				tensor.ReleaseLanes(1)
+				close(trained)
+			}()
+		}
 		commDown := c.Link.DownloadTime(modelBytes)
 		engine.After(commDown, func() {
+			if trained != nil {
+				<-trained // join before anything can observe c's state
+				outstanding--
+			}
 			if done() {
 				return
 			}
-			// Local epoch: real gradient descent plus simulated time.
-			c.net.SetWeights(pulled)
-			c.opt.Reset()
-			c.Local.Shuffle(c.rng)
-			n := c.Local.Len()
-			for i := 0; i < n; i += cfg.BatchSize {
-				end := i + cfg.BatchSize
-				if end > n {
-					end = n
-				}
-				x, y := c.Local.Batch(i, end)
-				c.net.TrainBatch(x, y)
-				c.opt.Step(c.net.Params())
+			if trained == nil {
+				// Sequential path: real gradient descent inline.
+				localEpoch(c, pulled)
 			}
 			compute := 0.0
 			if c.Device != nil {
-				compute, _ = c.Device.TrainSamples(cfg.Arch, n, cfg.BatchSize)
+				compute, _ = c.Device.TrainSamples(cfg.Arch, c.Local.Len(), cfg.BatchSize)
 				c.Device.Idle(c.Link.UploadTime(modelBytes))
 			}
 			engine.After(compute+c.Link.UploadTime(modelBytes), func() {
@@ -138,11 +184,8 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 				// Server merge with staleness damping.
 				staleness := float64(version - versionAtPull)
 				eta := cfg.MixRate / math.Pow(1+staleness, cfg.StalenessPower)
-				w := c.net.GetWeights()
-				for i := range globalW {
-					globalW[i].Scale(1 - eta)
-					globalW[i].AddScaled(eta, w[i])
-				}
+				scaleWeights(globalW, 1-eta)
+				accumulateWeighted(globalW, c.net.Weights(), eta)
 				version++
 				hist.Updates++
 				hist.UpdatesPerClient[clientIndex(clients, c.ID)]++
@@ -164,6 +207,9 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 	} else {
 		engine.RunUntil(deadline)
 	}
+	// Join any futures whose merge events never fired (run ended first):
+	// nothing may mutate client state after we return.
+	inflight.Wait()
 
 	hist.VirtualSeconds = engine.Now()
 	if hist.Updates > 0 {
@@ -179,12 +225,4 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 		}
 	}
 	return hist, nil
-}
-
-func cloneWeights(ws []*tensor.Tensor) []*tensor.Tensor {
-	out := make([]*tensor.Tensor, len(ws))
-	for i, w := range ws {
-		out[i] = w.Clone()
-	}
-	return out
 }

@@ -6,6 +6,11 @@
 // makespan over participants of simulated computation (device package)
 // plus communication (network package); model quality comes from real
 // gradient descent on the nn package.
+//
+// Clients within a synchronous round are independent by construction, so
+// the engine trains them concurrently on a bounded worker pool
+// (Config.Workers) and then aggregates in client-ID order after the
+// join — a run is bit-identical for any Workers value at a fixed Seed.
 package fl
 
 import (
@@ -50,6 +55,13 @@ type Config struct {
 	Momentum  float64
 	// Seed makes the whole run deterministic (init, shuffles, dropout).
 	Seed int64
+	// Workers bounds how many clients train concurrently within a round
+	// (all three engines honour it). Zero means runtime.GOMAXPROCS(0);
+	// negative values clamp to 1 (strictly sequential, no goroutines);
+	// the effective count never exceeds the participant count. The
+	// History is bit-identical for every Workers value at a fixed Seed:
+	// aggregation always happens after the round's join, in client order.
+	Workers int
 	// EvalEvery evaluates test accuracy every k rounds (and always on the
 	// final round). Zero means final-round only.
 	EvalEvery int
@@ -133,13 +145,13 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("fl: no clients")
 	}
-	anyData := false
+	active := make([]*Client, 0, len(clients))
 	for _, c := range clients {
 		if c.Local != nil && c.Local.Len() > 0 {
-			anyData = true
+			active = append(active, c)
 		}
 	}
-	if !anyData {
+	if len(active) == 0 {
 		return nil, fmt.Errorf("fl: no client holds data")
 	}
 
@@ -154,22 +166,34 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 	modelBytes := cfg.Arch.SizeBytes()
 	hist := &History{}
 	globalW := global.GetWeights()
+	workers := workerCount(cfg.Workers, len(active))
+	crs := make([]ClientRound, len(active))
+	diverged := make([]bool, len(active))
+	// sumW is the plaintext aggregation scratch, allocated once and
+	// reused (zeroed) every round instead of cloning per participant.
+	var sumW []*tensor.Tensor
 
 	for round := 0; round < cfg.Rounds; round++ {
 		stats := RoundStats{Round: round}
+
+		// Local training fans out across the worker pool. Every client
+		// owns its network, optimizer, RNG, local shard and simulated
+		// device, so workers never share mutable state; everything
+		// order-sensitive happens after the join, in client order.
+		forEach(workers, len(active), func(i int) {
+			crs[i] = active[i].trainRound(cfg, globalW, modelBytes)
+			diverged[i] = hasNonFinite(active[i].net)
+		})
+
 		var (
-			sumW         []*tensor.Tensor
 			total        int
 			lossSum      float64
 			participants []*Client
 			sampleCounts []int
 		)
-		for _, c := range clients {
-			if c.Local == nil || c.Local.Len() == 0 {
-				continue
-			}
-			cr := c.trainRound(cfg, globalW, modelBytes)
-			if hasNonFinite(c.net) {
+		for i, c := range active {
+			cr := crs[i]
+			if diverged[i] {
 				cr.Diverged = true
 				stats.Clients = append(stats.Clients, cr)
 				continue
@@ -193,23 +217,6 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 			participants = append(participants, c)
 			sampleCounts = append(sampleCounts, cr.Samples)
 			total += cr.Samples
-			if cfg.SecureAgg {
-				continue // aggregation happens through secureRound below
-			}
-			// Weighted plaintext accumulation of the client's weights.
-			w := c.net.GetWeights()
-			if sumW == nil {
-				sumW = make([]*tensor.Tensor, len(w))
-				for i, t := range w {
-					scaled := t.Clone()
-					scaled.Scale(float64(cr.Samples))
-					sumW[i] = scaled
-				}
-			} else {
-				for i, t := range w {
-					sumW[i].AddScaled(float64(cr.Samples), t)
-				}
-			}
 		}
 		if total == 0 {
 			if cfg.DeadlineSeconds > 0 {
@@ -230,10 +237,19 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 			}
 			globalW = agg
 		} else {
-			inv := 1 / float64(total)
-			for _, t := range sumW {
-				t.Scale(inv)
+			// Weighted plaintext accumulation, straight from the live
+			// client weights (no per-client clone). globalW may alias
+			// sumW from the previous round — by now every reader of the
+			// old global weights has finished.
+			if sumW == nil {
+				sumW = newWeightsLike(globalW)
+			} else {
+				zeroWeights(sumW)
 			}
+			for i, c := range participants {
+				accumulateWeighted(sumW, c.net.Weights(), float64(sampleCounts[i]))
+			}
+			scaleWeights(sumW, 1/float64(total))
 			globalW = sumW
 		}
 		stats.TrainLoss = lossSum / float64(total)
@@ -320,23 +336,38 @@ func (c *Client) trainRound(cfg Config, globalW []*tensor.Tensor, modelBytes int
 
 // EvaluateConfusion runs the model over the test set and returns the full
 // confusion matrix (per-class recall/precision for the outlier analyses).
+// Test batches fan out across network clones on the worker pool; the
+// counts merge in batch order, so the matrix matches the sequential loop
+// exactly.
 func EvaluateConfusion(net *nn.Network, test *data.Dataset, batch int) *metrics.Confusion {
 	if batch <= 0 {
 		batch = 256
 	}
 	c := metrics.NewConfusion(test.Classes)
-	for i := 0; i < test.Len(); i += batch {
-		end := i + batch
-		if end > test.Len() {
-			end = test.Len()
-		}
+	n := test.Len()
+	if n == 0 {
+		return c
+	}
+	nb := (n + batch - 1) / batch
+	preds := make([][]int, nb)
+	labels := make([][]int, nb)
+	forEachBatch(net, workerCount(0, nb), nb, func(bi int, m *nn.Network) {
+		i := bi * batch
+		end := min(i+batch, n)
 		x, y := test.Batch(i, end)
-		c.Add(y, net.Predict(x))
+		preds[bi] = m.Predict(x)
+		labels[bi] = y
+	})
+	for bi := range preds {
+		c.Add(labels[bi], preds[bi])
 	}
 	return c
 }
 
 // Evaluate computes test accuracy in batches of at most batch samples.
+// Batches fan out across network clones on the worker pool; per-batch
+// correct counts merge in batch order (integer sums, so the result is
+// identical to the sequential loop for any worker count).
 func Evaluate(net *nn.Network, test *data.Dataset, batch int) float64 {
 	if test.Len() == 0 {
 		return 0
@@ -344,21 +375,27 @@ func Evaluate(net *nn.Network, test *data.Dataset, batch int) float64 {
 	if batch <= 0 {
 		batch = 256
 	}
-	correct := 0
-	for i := 0; i < test.Len(); i += batch {
-		end := i + batch
-		if end > test.Len() {
-			end = test.Len()
-		}
+	n := test.Len()
+	nb := (n + batch - 1) / batch
+	correct := make([]int, nb)
+	forEachBatch(net, workerCount(0, nb), nb, func(bi int, m *nn.Network) {
+		i := bi * batch
+		end := min(i+batch, n)
 		x, y := test.Batch(i, end)
-		pred := net.Predict(x)
+		pred := m.Predict(x)
+		hits := 0
 		for k, p := range pred {
 			if p == y[k] {
-				correct++
+				hits++
 			}
 		}
+		correct[bi] = hits
+	})
+	total := 0
+	for _, h := range correct {
+		total += h
 	}
-	return float64(correct) / float64(test.Len())
+	return float64(total) / float64(n)
 }
 
 // hasNonFinite reports whether any weight of the network is NaN or ±Inf.

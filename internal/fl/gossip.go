@@ -79,11 +79,16 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 	hist := &GossipHistory{Rounds: cfg.Rounds}
 	pairRNG := rand.New(rand.NewSource(cfg.Seed + 13))
 	modelBytes := cfg.Arch.SizeBytes()
+	workers := workerCount(cfg.Workers, len(active))
+	spans := make([]float64, len(active))
 
 	for round := 0; round < cfg.Rounds; round++ {
-		makespan := 0.0
-		spans := make([]float64, len(active))
-		for i, c := range active {
+		// Local epochs are independent (per-client model, RNG, device),
+		// so they fan out across the worker pool; everything that couples
+		// clients — makespan, idling, pairwise averaging — runs after the
+		// join in deterministic order.
+		forEach(workers, len(active), func(i int) {
+			c := active[i]
 			c.opt.Reset()
 			c.Local.Shuffle(c.rng)
 			n := c.Local.Len()
@@ -96,13 +101,17 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 				c.net.TrainBatch(x, y)
 				c.opt.Step(c.net.Params())
 			}
+			spans[i] = 0
 			if c.Device != nil {
 				comp, _ := c.Device.TrainSamples(cfg.Arch, n, cfg.BatchSize)
 				// Peer exchange: send own model, receive the peer's.
 				spans[i] = comp + c.Link.UploadTime(modelBytes) + c.Link.DownloadTime(modelBytes)
 			}
-			if spans[i] > makespan {
-				makespan = spans[i]
+		})
+		makespan := 0.0
+		for _, s := range spans {
+			if s > makespan {
+				makespan = s
 			}
 		}
 		for i, c := range active {
@@ -112,15 +121,13 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 		}
 		hist.TotalSeconds += makespan
 
-		// Pairwise averaging.
+		// Pairwise averaging on the live weights (a's tensors are the
+		// average afterwards; b copies them).
 		for _, pair := range pairings(len(active), round, cfg.Topology, pairRNG) {
 			a, b := active[pair[0]], active[pair[1]]
-			wa, wb := a.net.GetWeights(), b.net.GetWeights()
-			for k := range wa {
-				wa[k].Add(wb[k])
-				wa[k].Scale(0.5)
-			}
-			a.net.SetWeights(wa)
+			wa := a.net.Weights()
+			accumulateWeighted(wa, b.net.Weights(), 1)
+			scaleWeights(wa, 0.5)
 			b.net.SetWeights(wa)
 		}
 	}

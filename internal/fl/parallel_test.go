@@ -1,0 +1,335 @@
+package fl
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"fedsched/internal/data"
+	"fedsched/internal/device"
+	"fedsched/internal/network"
+	"fedsched/internal/nn"
+	"fedsched/internal/tensor"
+)
+
+// forceLanes pretends the machine has `procs` CPUs so the worker pools and
+// the tensor lane semaphore genuinely spawn goroutines even on a 1-core
+// test box. Restored on cleanup.
+func forceLanes(t *testing.T, procs int) {
+	t.Helper()
+	prevProcs := runtime.GOMAXPROCS(procs)
+	prevLanes := tensor.MaxLanes()
+	tensor.SetMaxLanes(procs - 1)
+	t.Cleanup(func() {
+		tensor.SetMaxLanes(prevLanes)
+		runtime.GOMAXPROCS(prevProcs)
+	})
+}
+
+func eqFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+// requireSameHistory asserts two synchronous runs are bit-identical:
+// every per-round and per-client statistic, and every final weight.
+func requireSameHistory(t *testing.T, a, b *History) {
+	t.Helper()
+	if len(a.Rounds) != len(b.Rounds) {
+		t.Fatalf("round counts differ: %d vs %d", len(a.Rounds), len(b.Rounds))
+	}
+	for i := range a.Rounds {
+		ra, rb := a.Rounds[i], b.Rounds[i]
+		if !eqFloat(ra.Makespan, rb.Makespan) || !eqFloat(ra.TrainLoss, rb.TrainLoss) ||
+			!eqFloat(ra.Accuracy, rb.Accuracy) {
+			t.Fatalf("round %d stats differ: %+v vs %+v", i, ra, rb)
+		}
+		if len(ra.Clients) != len(rb.Clients) {
+			t.Fatalf("round %d participant counts differ: %d vs %d", i, len(ra.Clients), len(rb.Clients))
+		}
+		for j := range ra.Clients {
+			if ra.Clients[j] != rb.Clients[j] {
+				t.Fatalf("round %d client %d differs:\n%+v\n%+v", i, j, ra.Clients[j], rb.Clients[j])
+			}
+		}
+	}
+	if !eqFloat(a.FinalAccuracy, b.FinalAccuracy) ||
+		!eqFloat(a.TotalSeconds, b.TotalSeconds) || !eqFloat(a.TotalEnergyJ, b.TotalEnergyJ) {
+		t.Fatalf("summary differs: acc %v/%v time %v/%v energy %v/%v",
+			a.FinalAccuracy, b.FinalAccuracy, a.TotalSeconds, b.TotalSeconds,
+			a.TotalEnergyJ, b.TotalEnergyJ)
+	}
+	requireSameWeights(t, a.Model.GetWeights(), b.Model.GetWeights())
+}
+
+func requireSameWeights(t *testing.T, wa, wb []*tensor.Tensor) {
+	t.Helper()
+	if len(wa) != len(wb) {
+		t.Fatalf("weight tensor counts differ: %d vs %d", len(wa), len(wb))
+	}
+	for k := range wa {
+		da, db := wa[k].Data(), wb[k].Data()
+		if len(da) != len(db) {
+			t.Fatalf("tensor %d sizes differ: %d vs %d", k, len(da), len(db))
+		}
+		for e := range da {
+			if da[e] != db[e] {
+				t.Fatalf("tensor %d element %d differs: %v vs %v (bitwise determinism broken)",
+					k, e, da[e], db[e])
+			}
+		}
+	}
+}
+
+// parallelClients builds a fresh client set — fresh devices matter, since
+// device thermal/energy state carries across rounds and must start equal
+// for both runs under comparison.
+func parallelClients(t *testing.T, train *data.Dataset, users int, withDevices bool) []*Client {
+	t.Helper()
+	part := data.IIDEqual(train, users, rand.New(rand.NewSource(5)))
+	locals := part.Materialize(train)
+	devs := make([]*device.Device, users)
+	if withDevices {
+		profiles := []device.Profile{device.Pixel2(), device.Nexus6(), device.Nexus6P(), device.Mate10()}
+		for i := range devs {
+			devs[i] = device.New(profiles[i%len(profiles)])
+		}
+	}
+	links := make([]network.Link, users)
+	for i := range links {
+		links[i] = network.WiFi()
+	}
+	clients, err := BuildClients(devs, links, locals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return clients
+}
+
+// TestRunWorkersBitIdentical is the tentpole guarantee: Workers: 1 and
+// Workers: 4 produce bit-identical histories for the same seed, in plain
+// FedAvg, under secure aggregation, and under deadline dropout.
+func TestRunWorkersBitIdentical(t *testing.T) {
+	forceLanes(t, 4)
+	train, test := data.TrainTest(data.SMNISTConfig(0, 61), 600, 200)
+
+	variants := []struct {
+		name        string
+		withDevices bool
+		mutate      func(*Config)
+	}{
+		{"plain", false, func(c *Config) {}},
+		{"devices", true, func(c *Config) {}},
+		{"secureagg", true, func(c *Config) { c.SecureAgg = true }},
+		{"evalEvery", false, func(c *Config) { c.EvalEvery = 2 }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			run := func(workers int) *History {
+				cfg := smallConfig(3)
+				cfg.Workers = workers
+				v.mutate(&cfg)
+				hist, err := Run(cfg, parallelClients(t, train, 4, v.withDevices), test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return hist
+			}
+			requireSameHistory(t, run(1), run(4))
+		})
+	}
+}
+
+// TestRunWorkersDeadlineBitIdentical covers straggler dropout: the
+// deadline sits between the fast and slow device's warm spans, so one
+// client is dropped every round — identically for any worker count.
+func TestRunWorkersDeadlineBitIdentical(t *testing.T) {
+	forceLanes(t, 4)
+	train, test := data.TrainTest(data.SMNISTConfig(0, 62), 400, 150)
+
+	newClients := func() []*Client {
+		part := data.IIDEqual(train, 2, rand.New(rand.NewSource(5)))
+		locals := part.Materialize(train)
+		devs := []*device.Device{device.New(device.Pixel2()), device.New(device.Nexus6P())}
+		links := []network.Link{network.WiFi(), network.WiFi()}
+		clients, err := BuildClients(devs, links, locals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return clients
+	}
+
+	// Probe warm spans to place the deadline between the two devices.
+	probe, err := Run(smallConfig(3), newClients(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := probe.Rounds[len(probe.Rounds)-1]
+	fast := last.Clients[0].ComputeS + last.Clients[0].CommS
+	slow := last.Clients[1].ComputeS + last.Clients[1].CommS
+	if slow <= fast {
+		t.Fatalf("precondition: Nexus6P (%.2f s) not slower than Pixel2 (%.2f s)", slow, fast)
+	}
+
+	run := func(workers int) *History {
+		cfg := smallConfig(3)
+		cfg.Workers = workers
+		cfg.DeadlineSeconds = (fast + slow) / 2
+		hist, err := Run(cfg, newClients(), test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hist
+	}
+	a, b := run(1), run(4)
+	dropped := 0
+	for _, r := range a.Rounds {
+		for _, cr := range r.Clients {
+			if cr.Dropped {
+				dropped++
+			}
+		}
+	}
+	if dropped == 0 {
+		t.Fatal("deadline variant dropped nobody — test is vacuous")
+	}
+	requireSameHistory(t, a, b)
+}
+
+// TestWorkersGuards: negative Workers degrades to strictly sequential and
+// a single participant never spawns goroutines; both still equal the
+// default-parallel result bitwise.
+func TestWorkersGuards(t *testing.T) {
+	forceLanes(t, 4)
+	train, test := data.TrainTest(data.SMNISTConfig(0, 63), 300, 100)
+
+	run := func(workers, users int) *History {
+		cfg := smallConfig(2)
+		cfg.Workers = workers
+		hist, err := Run(cfg, parallelClients(t, train, users, false), test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hist
+	}
+	// Negative == sequential == default pool, bit for bit.
+	requireSameHistory(t, run(-3, 3), run(1, 3))
+	requireSameHistory(t, run(-3, 3), run(0, 3))
+	// One participant with a huge worker request still runs (and matches
+	// the sequential path — there is nothing to parallelize over).
+	requireSameHistory(t, run(64, 1), run(1, 1))
+}
+
+// TestEvaluateParallelMatchesSerial pins the satellite guarantee: the
+// batched evaluators return identical results whether batches run on one
+// goroutine or fan out across network clones.
+func TestEvaluateParallelMatchesSerial(t *testing.T) {
+	_, test := data.TrainTest(data.SMNISTConfig(0, 64), 10, 230)
+	net := nn.LeNetSmall(1, 16, 16, 10).Build(rand.New(rand.NewSource(3)))
+
+	// Serial: GOMAXPROCS 1 → workerCount resolves to 1, no clones.
+	forceLanes(t, 1)
+	serialAcc := Evaluate(net, test, 64)
+	serialConf := EvaluateConfusion(net, test, 64)
+
+	// Parallel: 4 lanes → batches spread over clones.
+	forceLanes(t, 4)
+	parAcc := Evaluate(net, test, 64)
+	parConf := EvaluateConfusion(net, test, 64)
+
+	if serialAcc != parAcc {
+		t.Fatalf("Evaluate differs across worker counts: %v vs %v", serialAcc, parAcc)
+	}
+	if serialConf.Accuracy() != parConf.Accuracy() || serialConf.MacroRecall() != parConf.MacroRecall() {
+		t.Fatalf("EvaluateConfusion differs: acc %v/%v recall %v/%v",
+			serialConf.Accuracy(), parConf.Accuracy(), serialConf.MacroRecall(), parConf.MacroRecall())
+	}
+}
+
+// TestAsyncWorkersBitIdentical: the futures engine must keep every server
+// merge in exact virtual-time order, so the whole history matches the
+// sequential engine field by field.
+func TestAsyncWorkersBitIdentical(t *testing.T) {
+	forceLanes(t, 4)
+	train, test := data.TrainTest(data.SMNISTConfig(0, 65), 400, 100)
+
+	run := func(workers int) *AsyncHistory {
+		cfg := AsyncConfig{Config: smallConfig(0), MaxUpdates: 16, MixRate: 0.4, StalenessPower: 0.5}
+		cfg.Workers = workers
+		hist, err := RunAsync(cfg, parallelClients(t, train, 3, true), test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hist
+	}
+	a, b := run(1), run(4)
+	if a.Updates != b.Updates || !eqFloat(a.VirtualSeconds, b.VirtualSeconds) ||
+		!eqFloat(a.FinalAccuracy, b.FinalAccuracy) || !eqFloat(a.MeanStaleness, b.MeanStaleness) ||
+		!eqFloat(a.TotalEnergyJ, b.TotalEnergyJ) {
+		t.Fatalf("async histories differ:\n%+v\n%+v", a, b)
+	}
+	for i := range a.UpdatesPerClient {
+		if a.UpdatesPerClient[i] != b.UpdatesPerClient[i] {
+			t.Fatalf("updates per client differ at %d: %v vs %v",
+				i, a.UpdatesPerClient, b.UpdatesPerClient)
+		}
+	}
+}
+
+// TestGossipWorkersBitIdentical: local epochs fan out, pairing and
+// averaging happen after the join — any worker count, same history.
+func TestGossipWorkersBitIdentical(t *testing.T) {
+	forceLanes(t, 4)
+	train, test := data.TrainTest(data.SMNISTConfig(0, 66), 400, 100)
+
+	run := func(workers int) *GossipHistory {
+		cfg := GossipConfig{Config: smallConfig(3), Topology: Ring}
+		cfg.Workers = workers
+		hist, err := RunGossip(cfg, parallelClients(t, train, 4, true), test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hist
+	}
+	a, b := run(1), run(4)
+	if a.Rounds != b.Rounds || !eqFloat(a.MeanAccuracy, b.MeanAccuracy) ||
+		!eqFloat(a.BestAccuracy, b.BestAccuracy) || !eqFloat(a.Disagreement, b.Disagreement) ||
+		!eqFloat(a.TotalSeconds, b.TotalSeconds) {
+		t.Fatalf("gossip histories differ:\n%+v\n%+v", a, b)
+	}
+	for i := range a.PerClient {
+		if a.PerClient[i] != b.PerClient[i] {
+			t.Fatalf("per-client accuracy differs at %d: %v vs %v", i, a.PerClient, b.PerClient)
+		}
+	}
+}
+
+func TestWorkerCount(t *testing.T) {
+	cases := []struct{ requested, tasks, want int }{
+		{-1, 8, 1},
+		{0, 8, runtime.GOMAXPROCS(0)},
+		{3, 8, 3},
+		{8, 3, 3},
+		{5, 0, 1},
+	}
+	for _, c := range cases {
+		if got := workerCount(c.requested, c.tasks); got != c.want {
+			t.Errorf("workerCount(%d, %d) = %d, want %d", c.requested, c.tasks, got, c.want)
+		}
+	}
+}
+
+func TestForEachCoversAllIndices(t *testing.T) {
+	forceLanes(t, 4)
+	for _, workers := range []int{1, 2, 4, 9} {
+		for _, n := range []int{0, 1, 5, 23} {
+			hits := make([]int32, n)
+			forEach(workers, n, func(i int) { hits[i]++ })
+			for i, h := range hits {
+				if h != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, h)
+				}
+			}
+		}
+	}
+}

@@ -10,14 +10,47 @@ import (
 
 // Conv2D is a 2-D convolution over (N, C, H, W) inputs, implemented as
 // im2col + matrix multiply. Weights have shape (OutC, InC, K, K).
+//
+// The layer keeps per-instance im2col/col2im workspaces alive across
+// batches: on steady-state batch sizes the forward and backward passes
+// allocate nothing but the output activation. Workspaces are per layer
+// (hence per network), so concurrently-training client networks never
+// share scratch memory.
 type Conv2D struct {
 	InC, OutC      int
 	K, Stride, Pad int
 	InH, InW       int // set on first Forward; used for FLOP estimates
 	w, b           *Param
-	cols           *tensor.Tensor // cached im2col matrix
 	inShape        []int
 	outH, outW     int
+
+	// Reusable workspaces, sized lazily and re-sized only when the batch
+	// geometry changes. cols must survive from Forward to Backward (the
+	// weight gradient needs it); the rest are pure scratch.
+	cols  *tensor.Tensor // im2col matrix (N*OH*OW, InC*K*K)
+	ym    *tensor.Tensor // forward matmul result (N*OH*OW, OutC)
+	gm    *tensor.Tensor // grad re-layout (N*OH*OW, OutC)
+	dw    *tensor.Tensor // weight gradient (OutC, InC*K*K)
+	dcols *tensor.Tensor // column gradient (N*OH*OW, InC*K*K)
+	dx    *tensor.Tensor // input gradient (N, InC, H, W)
+}
+
+// ensureShape returns t when it already has exactly the wanted shape and
+// a fresh zeroed tensor otherwise — the workspace (re)allocation policy.
+func ensureShape(t *tensor.Tensor, shape ...int) *tensor.Tensor {
+	if t != nil && t.Rank() == len(shape) {
+		same := true
+		for i, d := range shape {
+			if t.Dim(i) != d {
+				same = false
+				break
+			}
+		}
+		if same {
+			return t
+		}
+	}
+	return tensor.New(shape...)
 }
 
 // NewConv2D constructs a convolution layer with He-initialized weights.
@@ -76,11 +109,15 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	c.SetInputSize(h, w)
 	c.inShape = x.Shape()
-	c.cols = tensor.Im2Col(x, c.K, c.K, c.Stride, c.Pad) // (N*OH*OW, InC*K*K)
-	ym := tensor.MatMulTransB(c.cols, c.w.W)             // (N*OH*OW, OutC)
 	oh, ow := c.outH, c.outW
+	c.cols = ensureShape(c.cols, n*oh*ow, c.InC*c.K*c.K)
+	tensor.Im2ColInto(c.cols, x, c.K, c.K, c.Stride, c.Pad)
+	c.ym = ensureShape(c.ym, n*oh*ow, c.OutC)
+	tensor.MatMulTransBInto(c.ym, c.cols, c.w.W) // (N*OH*OW, OutC)
+	// The output activation is freshly allocated on purpose: it escapes
+	// into downstream layers, which may cache it between passes.
 	y := tensor.New(n, c.OutC, oh, ow)
-	yd, md, bd := y.Data(), ym.Data(), c.b.W.Data()
+	yd, md, bd := y.Data(), c.ym.Data(), c.b.W.Data()
 	for img := 0; img < n; img++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
@@ -94,13 +131,16 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return y
 }
 
-// Backward implements Layer. grad must be (N, OutC, OH, OW).
+// Backward implements Layer. grad must be (N, OutC, OH, OW). The returned
+// input gradient lives in a per-layer workspace that is overwritten by the
+// next Backward call; callers consume it within the current pass (which is
+// how Network.Backward drives layers).
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Dim(0)
 	oh, ow := c.outH, c.outW
 	// Re-layout grad to (N*OH*OW, OutC) to mirror the forward matmul.
-	gm := tensor.New(n*oh*ow, c.OutC)
-	gd, gmd := grad.Data(), gm.Data()
+	c.gm = ensureShape(c.gm, n*oh*ow, c.OutC)
+	gd, gmd := grad.Data(), c.gm.Data()
 	bg := c.b.Grad.Data()
 	for img := 0; img < n; img++ {
 		for f := 0; f < c.OutC; f++ {
@@ -114,9 +154,13 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dW = gmᵀ·cols : (OutC, InC*K*K).
-	dw := tensor.MatMulTransA(gm, c.cols)
-	c.w.Grad.Add(dw)
+	c.dw = ensureShape(c.dw, c.OutC, c.InC*c.K*c.K)
+	tensor.MatMulTransAInto(c.dw, c.gm, c.cols)
+	c.w.Grad.Add(c.dw)
 	// dCols = gm·W : (N*OH*OW, InC*K*K), then scatter back to image space.
-	dcols := tensor.MatMul(gm, c.w.W)
-	return tensor.Col2Im(dcols, c.inShape[0], c.inShape[1], c.inShape[2], c.inShape[3], c.K, c.K, c.Stride, c.Pad)
+	c.dcols = ensureShape(c.dcols, n*oh*ow, c.InC*c.K*c.K)
+	tensor.MatMulInto(c.dcols, c.gm, c.w.W)
+	c.dx = ensureShape(c.dx, c.inShape...)
+	tensor.Col2ImInto(c.dx, c.dcols, c.K, c.K, c.Stride, c.Pad)
+	return c.dx
 }

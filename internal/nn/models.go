@@ -230,5 +230,7 @@ func (a *Arch) Build(rng *rand.Rand) *Network {
 			layers = append(layers, NewDense(rng, flat, s.outC))
 		}
 	})
-	return NewNetwork(a.Name, layers...)
+	net := NewNetwork(a.Name, layers...)
+	net.arch = a
+	return net
 }

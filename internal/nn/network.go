@@ -2,6 +2,7 @@ package nn
 
 import (
 	"fmt"
+	"math/rand"
 	"strings"
 
 	"fedsched/internal/tensor"
@@ -19,6 +20,10 @@ type Network struct {
 	// Arch is a short architecture label such as "LeNet" or "VGG6".
 	Arch   string
 	Layers []Layer
+
+	// arch is the blueprint this network was built from (nil for networks
+	// assembled directly with NewNetwork); it enables Clone.
+	arch *Arch
 }
 
 // NewNetwork builds a network from layers with the given architecture name.
@@ -112,6 +117,36 @@ func (n *Network) FlopsPerSample() float64 {
 // modelling.
 func (n *Network) SizeBytes() int {
 	return n.ParamCount() * BytesPerParam
+}
+
+// Clone returns an independent network with the same architecture and a
+// deep copy of the weights — fresh layer caches and workspaces, so the
+// clone can run forward/backward passes concurrently with the original.
+// It returns nil when the network was assembled directly from layers
+// (no Arch blueprint to rebuild from); callers must fall back to using
+// the original sequentially.
+func (n *Network) Clone() *Network {
+	if n.arch == nil {
+		return nil
+	}
+	c := n.arch.Build(rand.New(rand.NewSource(0))) // init overwritten below
+	src, dst := n.Params(), c.Params()
+	for i := range src {
+		copy(dst[i].W.Data(), src[i].W.Data())
+	}
+	return c
+}
+
+// Weights returns the live parameter tensors in order, without copying.
+// Callers must treat them as read-only; use GetWeights for an owned
+// snapshot. This is the zero-allocation path for weighted aggregation.
+func (n *Network) Weights() []*tensor.Tensor {
+	ps := n.Params()
+	out := make([]*tensor.Tensor, len(ps))
+	for i, p := range ps {
+		out[i] = p.W
+	}
+	return out
 }
 
 // GetWeights returns a deep copy of all parameter tensors, in order.

@@ -9,6 +9,22 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 	oh := (h+2*pad-kh)/stride + 1
 	ow := (w+2*pad-kw)/stride + 1
 	cols := New(n*oh*ow, c*kh*kw)
+	Im2ColInto(cols, x, kh, kw, stride, pad)
+	return cols
+}
+
+// Im2ColInto is Im2Col writing into a preallocated (N*OH*OW, C*KH*KW)
+// matrix, zeroing it first (padded regions must read as zero). Reusing
+// one cols tensor across batches removes the dominant allocation in the
+// convolution hot path.
+func Im2ColInto(cols, x *Tensor, kh, kw, stride, pad int) {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
+	oh := (h+2*pad-kh)/stride + 1
+	ow := (w+2*pad-kw)/stride + 1
+	if cols.Dim(0) != n*oh*ow || cols.Dim(1) != c*kh*kw {
+		panic("tensor: Im2ColInto shape mismatch")
+	}
+	cols.Zero()
 	xd, cd := x.data, cols.data
 	rowLen := c * kh * kw
 	for img := 0; img < n; img++ {
@@ -39,17 +55,28 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return cols
 }
 
 // Col2Im is the adjoint of Im2Col: it scatters patch-column gradients back
 // into an image gradient of shape (N, C, H, W), accumulating overlaps.
 func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
+	x := New(n, c, h, w)
+	Col2ImInto(x, cols, kh, kw, stride, pad)
+	return x
+}
+
+// Col2ImInto is Col2Im scattering into a preallocated (N, C, H, W)
+// tensor, zeroing it first.
+func Col2ImInto(x, cols *Tensor, kh, kw, stride, pad int) {
+	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := (h+2*pad-kh)/stride + 1
 	ow := (w+2*pad-kw)/stride + 1
-	x := New(n, c, h, w)
-	xd, cd := x.data, cols.data
 	rowLen := c * kh * kw
+	if cols.Dim(0) != n*oh*ow || cols.Dim(1) != rowLen {
+		panic("tensor: Col2ImInto shape mismatch")
+	}
+	x.Zero()
+	xd, cd := x.data, cols.data
 	for img := 0; img < n; img++ {
 		base := img * c * h * w
 		for oy := 0; oy < oh; oy++ {
@@ -78,7 +105,6 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
 			}
 		}
 	}
-	return x
 }
 
 // ConvOutSize returns the output spatial size for input size in, kernel k,

@@ -1,14 +1,47 @@
 package tensor
 
-import (
-	"runtime"
-	"sync"
-)
+import "sync"
 
 // parallelThreshold is the number of output elements above which MatMul
 // fans out across goroutines. Small multiplies stay single-threaded to
 // avoid scheduling overhead.
 const parallelThreshold = 64 * 64
+
+// parallelRows runs kernel over the row range [0, m) split across the
+// caller plus as many extra lanes as the shared pool will give it (at
+// most m−1). Each row is processed entirely by one goroutine with a
+// fixed inner loop order, so the result is bit-identical no matter how
+// many lanes were available — chunking only changes wall-clock time.
+func parallelRows(m int, kernel func(i0, i1 int)) {
+	extra := TryAcquireLanes(m - 1)
+	if extra == 0 {
+		kernel(0, m)
+		return
+	}
+	parts := extra + 1
+	chunk := (m + parts - 1) / parts
+	var wg sync.WaitGroup
+	for w := 1; w < parts; w++ {
+		i0 := w * chunk
+		i1 := i0 + chunk
+		if i1 > m {
+			i1 = m
+		}
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			kernel(i0, i1)
+		}(i0, i1)
+	}
+	if chunk > 0 {
+		kernel(0, min(chunk, m))
+	}
+	wg.Wait()
+	ReleaseLanes(extra)
+}
 
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n) and returns
 // a new m×n tensor. It panics on shape mismatch.
@@ -54,28 +87,7 @@ func MatMulInto(dst, a, b *Tensor) {
 		rowKernel(0, m)
 		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		i0 := w * chunk
-		i1 := i0 + chunk
-		if i1 > m {
-			i1 = m
-		}
-		if i0 >= i1 {
-			break
-		}
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			rowKernel(i0, i1)
-		}(i0, i1)
-	}
-	wg.Wait()
+	parallelRows(m, rowKernel)
 }
 
 // MatMulTransA computes C = Aᵀ·B where A is k×m and B is k×n, yielding m×n.
@@ -86,7 +98,21 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 	}
 	n := b.Dim(1)
 	c := New(m, n)
-	ad, bd, cd := a.data, b.data, c.data
+	MatMulTransAInto(c, a, b)
+	return c
+}
+
+// MatMulTransAInto computes dst = Aᵀ·B, overwriting dst. dst must be m×n.
+func MatMulTransAInto(dst, a, b *Tensor) {
+	k, m := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	if b.Dim(0) != k || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic("tensor: MatMulTransAInto shape mismatch")
+	}
+	ad, bd, cd := a.data, b.data, dst.data
+	for i := range cd {
+		cd[i] = 0
+	}
 	for l := 0; l < k; l++ {
 		arow := ad[l*m : (l+1)*m]
 		brow := bd[l*n : (l+1)*n]
@@ -100,18 +126,25 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 			}
 		}
 	}
-	return c
 }
 
 // MatMulTransB computes C = A·Bᵀ where A is m×k and B is n×k, yielding m×n.
 func MatMulTransB(a, b *Tensor) *Tensor {
+	m := a.Dim(0)
+	n := b.Dim(0)
+	c := New(m, n)
+	MatMulTransBInto(c, a, b)
+	return c
+}
+
+// MatMulTransBInto computes dst = A·Bᵀ, overwriting dst. dst must be m×n.
+func MatMulTransBInto(dst, a, b *Tensor) {
 	m, k := a.Dim(0), a.Dim(1)
 	n := b.Dim(0)
-	if b.Dim(1) != k {
-		panic("tensor: MatMulTransB inner dimension mismatch")
+	if b.Dim(1) != k || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic("tensor: MatMulTransBInto shape mismatch")
 	}
-	c := New(m, n)
-	ad, bd, cd := a.data, b.data, c.data
+	ad, bd, cd := a.data, b.data, dst.data
 	kernel := func(i0, i1 int) {
 		for i := i0; i < i1; i++ {
 			ai := ad[i*k : (i+1)*k]
@@ -128,30 +161,9 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 	}
 	if m*n < parallelThreshold || m < 2 {
 		kernel(0, m)
-		return c
+		return
 	}
-	workers := runtime.GOMAXPROCS(0)
-	if workers > m {
-		workers = m
-	}
-	var wg sync.WaitGroup
-	chunk := (m + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		i0, i1 := w*chunk, (w+1)*chunk
-		if i1 > m {
-			i1 = m
-		}
-		if i0 >= i1 {
-			break
-		}
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			kernel(i0, i1)
-		}(i0, i1)
-	}
-	wg.Wait()
-	return c
+	parallelRows(m, kernel)
 }
 
 // Transpose returns the transpose of a 2-D tensor.

@@ -1,0 +1,69 @@
+package tensor
+
+import "runtime"
+
+// extraLanes is a process-wide pool of "extra" parallelism tokens shared
+// by every goroutine-spawning kernel in this package and by external
+// worker pools (the federated engines' per-client training pool). The
+// calling goroutine never needs a token — only the workers it spawns on
+// top of itself do — so with a capacity of GOMAXPROCS−1 the total number
+// of concurrently running goroutines stays ≈ GOMAXPROCS no matter how
+// pools nest: when the client-level pool holds most lanes, the matmuls
+// running inside its workers find none left and stay single-threaded;
+// when training is sequential, the matmuls grab every lane and fan out.
+//
+// Acquisition is strictly non-blocking, so lane exhaustion can never
+// deadlock — callers degrade to doing the work themselves.
+var extraLanes chan struct{}
+
+func init() {
+	n := runtime.GOMAXPROCS(0) - 1
+	if n < 0 {
+		n = 0
+	}
+	extraLanes = make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		extraLanes <- struct{}{}
+	}
+}
+
+// SetMaxLanes resizes the extra-lane pool to n lanes (clamped at ≥ 0).
+// It exists for benchmarks and tests that raise GOMAXPROCS after package
+// init (the pool is sized once at startup) and for deployments that want
+// to cap library parallelism explicitly. It must not be called while
+// kernels or worker pools are running.
+func SetMaxLanes(n int) {
+	if n < 0 {
+		n = 0
+	}
+	extraLanes = make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		extraLanes <- struct{}{}
+	}
+}
+
+// MaxLanes reports the pool's current capacity.
+func MaxLanes() int { return cap(extraLanes) }
+
+// TryAcquireLanes grabs up to want extra parallelism lanes without
+// blocking and returns how many it obtained (possibly zero). Every
+// acquired lane must later be returned with ReleaseLanes.
+func TryAcquireLanes(want int) int {
+	got := 0
+	for got < want {
+		select {
+		case <-extraLanes:
+			got++
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// ReleaseLanes returns n lanes previously acquired with TryAcquireLanes.
+func ReleaseLanes(n int) {
+	for i := 0; i < n; i++ {
+		extraLanes <- struct{}{}
+	}
+}
