@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet check race bench bench-parallel
+.PHONY: build test vet check race race-tensor bench bench-parallel bench-gemm
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,15 @@ test: build
 vet:
 	$(GO) vet ./...
 
-check: build vet test
+check: build vet test race-tensor
 
 race:
 	$(GO) test -race ./internal/fl/... ./internal/tensor/...
+
+# Fast race pass over just the GEMM core and lane semaphore — cheap
+# enough (~10s) to gate every `make check`.
+race-tensor:
+	$(GO) test -race ./internal/tensor/...
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .
@@ -26,3 +31,7 @@ bench:
 # The serial-vs-pool pair behind BENCH_fl_parallel.json.
 bench-parallel:
 	$(GO) test -run '^$$' -bench 'BenchmarkRun(Serial|Parallel)$$' -benchtime=3x -benchmem .
+
+# The naive-vs-blocked kernel pairs and layer triples behind BENCH_gemm.json.
+bench-gemm:
+	$(GO) test -run '^$$' -bench 'BenchmarkGEMM' -benchtime=2s ./internal/tensor/ .

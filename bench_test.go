@@ -140,6 +140,36 @@ func benchFederated(b *testing.B, workers int) {
 func BenchmarkRunSerial(b *testing.B)   { benchFederated(b, 1) }
 func BenchmarkRunParallel(b *testing.B) { benchFederated(b, 0) }
 
+// GEMM benchmarks over the real layer shapes of the paper's two models at
+// batch 20, one triple per model covering the three kernels a training
+// step issues: forward A·Bᵀ (im2col rows × filters), input-gradient A·B
+// and weight-gradient Aᵀ·B. `make bench-gemm` runs these plus the
+// naive-vs-blocked kernel pair in internal/tensor; BENCH_gemm.json holds
+// recorded numbers.
+func benchGEMMLayer(b *testing.B, m, k, n int) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	a := tensor.Randn(rng, 1, m, k) // activations / im2col rows
+	w := tensor.Randn(rng, 1, n, k) // weights (out, in)
+	g := tensor.Randn(rng, 1, m, n) // output gradient
+	fwd := tensor.New(m, n)
+	dx := tensor.New(m, k)
+	dw := tensor.New(n, k)
+	b.SetBytes(int64(8 * 3 * (m*k + n*k + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tensor.MatMulTransBInto(fwd, a, w) // forward
+		tensor.MatMulInto(dx, g, w)        // input gradient
+		tensor.MatMulTransAInto(dw, g, a)  // weight gradient
+	}
+}
+
+// LeNet conv2 at 28×28 input: m = 20·8·8 im2col rows, k = 20·5·5, n = 40.
+func BenchmarkGEMM_LeNet(b *testing.B) { benchGEMMLayer(b, 1280, 500, 40) }
+
+// VGG6 block-3 conv at 28×28 input: m = 20·7·7, k = 80·3·3, n = 96.
+func BenchmarkGEMM_VGG6(b *testing.B) { benchGEMMLayer(b, 980, 720, 96) }
+
 // Extension experiments (ablations and optional directions).
 func BenchmarkExtEnergy(b *testing.B)      { benchExperiment(b, "ext-energy") }
 func BenchmarkExtAsync(b *testing.B)       { benchExperiment(b, "ext-async") }

@@ -18,20 +18,23 @@ func scaleWeights(ws []*tensor.Tensor, a float64) {
 	}
 }
 
-// zeroWeights clears every tensor in ws.
-func zeroWeights(ws []*tensor.Tensor) {
-	for _, t := range ws {
-		t.Zero()
+// ensureWeightsLike returns dst resized and zeroed to match ws shape-for-
+// shape, reusing every tensor that already fits — the aggregation-scratch
+// analogue of tensor.EnsureShape. dst may be nil or alias tensors in ws'
+// history; reused tensors are explicitly zeroed since EnsureShape
+// preserves contents.
+func ensureWeightsLike(dst, ws []*tensor.Tensor) []*tensor.Tensor {
+	if len(dst) != len(ws) {
+		dst = make([]*tensor.Tensor, len(ws))
 	}
-}
-
-// newWeightsLike allocates zeroed tensors with the same shapes as ws.
-func newWeightsLike(ws []*tensor.Tensor) []*tensor.Tensor {
-	out := make([]*tensor.Tensor, len(ws))
 	for i, w := range ws {
-		out[i] = tensor.New(w.Shape()...)
+		t := tensor.EnsureShape(dst[i], w.Shape()...)
+		if t == dst[i] {
+			t.Zero()
+		}
+		dst[i] = t
 	}
-	return out
+	return dst
 }
 
 // cloneWeights deep-copies a weight list.

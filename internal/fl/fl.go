@@ -241,11 +241,7 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 			// client weights (no per-client clone). globalW may alias
 			// sumW from the previous round — by now every reader of the
 			// old global weights has finished.
-			if sumW == nil {
-				sumW = newWeightsLike(globalW)
-			} else {
-				zeroWeights(sumW)
-			}
+			sumW = ensureWeightsLike(sumW, globalW)
 			for i, c := range participants {
 				accumulateWeighted(sumW, c.net.Weights(), float64(sampleCounts[i]))
 			}

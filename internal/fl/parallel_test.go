@@ -140,6 +140,35 @@ func TestRunWorkersBitIdentical(t *testing.T) {
 	}
 }
 
+// TestRunGEMMLanesBitIdentical extends the workers guarantee one layer
+// down, into the blocked GEMM kernels: with the client worker pool held
+// fixed, the number of tensor lanes the matmuls may fan out over must not
+// change a single bit of the history either. (At batch 20 the LeNetSmall
+// convolutions cross the kernel's parallel cutoff, so lanes > 0 genuinely
+// split the output grid across goroutines.)
+func TestRunGEMMLanesBitIdentical(t *testing.T) {
+	prevProcs := runtime.GOMAXPROCS(4)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prevProcs) })
+	train, test := data.TrainTest(data.SMNISTConfig(0, 67), 600, 200)
+
+	run := func(lanes int) *History {
+		prev := tensor.MaxLanes()
+		tensor.SetMaxLanes(lanes)
+		defer tensor.SetMaxLanes(prev)
+		cfg := smallConfig(3)
+		cfg.Workers = 1 // serial client pool: every lane goes to the GEMMs
+		hist, err := Run(cfg, parallelClients(t, train, 4, true), test)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return hist
+	}
+	serial := run(0)
+	for _, lanes := range []int{1, 3} {
+		requireSameHistory(t, serial, run(lanes))
+	}
+}
+
 // TestRunWorkersDeadlineBitIdentical covers straggler dropout: the
 // deadline sits between the fast and slow device's warm spans, so one
 // client is dropped every round — identically for any worker count.

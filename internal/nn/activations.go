@@ -7,9 +7,24 @@ import (
 	"fedsched/internal/tensor"
 )
 
+// sameStorage reports whether two tensors share the same backing array —
+// the cheap identity check behind the cached-view reuse in Flatten.
+func sameStorage(a, b *tensor.Tensor) bool {
+	ad, bd := a.Data(), b.Data()
+	return len(ad) == len(bd) && (len(ad) == 0 || &ad[0] == &bd[0])
+}
+
 // ReLU applies max(0, x) elementwise.
+//
+// When a ReLU directly follows a Dense or Conv2D layer, Network.Forward
+// fuses the activation into the producer's kernel: the producer calls
+// ensureMask to hand the clamp decision back to this layer, and this
+// layer's Forward is skipped for that pass. Backward is identical either
+// way — it only consumes the mask.
 type ReLU struct {
 	mask []bool
+	y    *tensor.Tensor // forward output (unfused path)
+	dx   *tensor.Tensor // input gradient
 }
 
 // NewReLU returns a ReLU activation layer.
@@ -21,38 +36,57 @@ func (r *ReLU) Name() string { return "ReLU" }
 // Params implements Layer.
 func (r *ReLU) Params() []*Param { return nil }
 
+// ensureMask returns the layer's mask buffer resized to n entries. Fused
+// producers fill it with (pre-clamp value > 0) per output element.
+func (r *ReLU) ensureMask(n int) []bool {
+	if cap(r.mask) < n {
+		r.mask = make([]bool, n)
+	}
+	r.mask = r.mask[:n]
+	return r.mask
+}
+
 // Forward implements Layer.
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
-	if cap(r.mask) < y.Len() {
-		r.mask = make([]bool, y.Len())
-	}
-	r.mask = r.mask[:y.Len()]
-	for i, v := range y.Data() {
+	r.y = tensor.EnsureShape(r.y, x.Shape()...)
+	mask := r.ensureMask(x.Len())
+	xd, yd := x.Data(), r.y.Data()
+	for i, v := range xd {
 		if v > 0 {
-			r.mask[i] = true
+			mask[i] = true
+			yd[i] = v
 		} else {
-			r.mask[i] = false
-			y.Data()[i] = 0
+			mask[i] = false
+			yd[i] = 0
 		}
 	}
-	return y
+	return r.y
 }
 
 // Backward implements Layer.
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g := grad.Clone()
-	for i := range g.Data() {
-		if !r.mask[i] {
-			g.Data()[i] = 0
+	r.dx = tensor.EnsureShape(r.dx, grad.Shape()...)
+	gd, dd := grad.Data(), r.dx.Data()
+	for i, v := range gd {
+		if r.mask[i] {
+			dd[i] = v
+		} else {
+			dd[i] = 0
 		}
 	}
-	return g
+	return r.dx
 }
 
 // Flatten reshapes (N, ...) inputs to (N, prod(...)).
+//
+// Reshape only wraps the storage in a new header, but even that small
+// allocation recurs every batch; since upstream layers hand Flatten the
+// same workspace tensor each pass, the views are cached and reused as
+// long as the storage identity and geometry match.
 type Flatten struct {
 	inShape []int
+	out     *tensor.Tensor // cached forward view
+	back    *tensor.Tensor // cached backward view
 }
 
 // NewFlatten returns a flatten layer.
@@ -68,12 +102,31 @@ func (f *Flatten) Params() []*Param { return nil }
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	f.inShape = x.Shape()
 	n := x.Dim(0)
-	return x.Reshape(n, x.Len()/n)
+	cols := x.Len() / n
+	if f.out == nil || !sameStorage(f.out, x) || f.out.Dim(0) != n || f.out.Dim(1) != cols {
+		f.out = x.Reshape(n, cols)
+	}
+	return f.out
 }
 
 // Backward implements Layer.
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	return grad.Reshape(f.inShape...)
+	if f.back == nil || !sameStorage(f.back, grad) || !shapeEq(f.back.Shape(), f.inShape) {
+		f.back = grad.Reshape(f.inShape...)
+	}
+	return f.back
+}
+
+func shapeEq(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, d := range a {
+		if b[i] != d {
+			return false
+		}
+	}
+	return true
 }
 
 // MaxPool2D is a non-overlapping 2-D max pooling layer over (N, C, H, W).
@@ -81,6 +134,8 @@ type MaxPool2D struct {
 	Size, Stride int
 	argmax       []int
 	inShape      []int
+	y            *tensor.Tensor // forward output
+	dx           *tensor.Tensor // input gradient
 }
 
 // NewMaxPool2D constructs a max-pool layer with the given window and stride.
@@ -100,7 +155,8 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	oh := (h-p.Size)/p.Stride + 1
 	ow := (w-p.Size)/p.Stride + 1
 	p.inShape = x.Shape()
-	y := tensor.New(n, c, oh, ow)
+	p.y = tensor.EnsureShape(p.y, n, c, oh, ow)
+	y := p.y
 	if cap(p.argmax) < y.Len() {
 		p.argmax = make([]int, y.Len())
 	}
@@ -133,12 +189,13 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward implements Layer.
 func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	dx := tensor.New(p.inShape...)
-	dd, gd := dx.Data(), grad.Data()
+	p.dx = tensor.EnsureShape(p.dx, p.inShape...)
+	p.dx.Zero() // scatter-add below touches only argmax positions
+	dd, gd := p.dx.Data(), grad.Data()
 	for i, src := range p.argmax {
 		dd[src] += gd[i]
 	}
-	return dx
+	return p.dx
 }
 
 // Dropout zeroes activations with probability P during training and scales
@@ -148,6 +205,8 @@ type Dropout struct {
 	P    float64
 	rng  *rand.Rand
 	keep []bool
+	y    *tensor.Tensor // forward output (training path)
+	dx   *tensor.Tensor // input gradient
 }
 
 // NewDropout constructs a dropout layer driven by rng.
@@ -167,22 +226,23 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.keep = nil
 		return x
 	}
-	y := x.Clone()
-	if cap(d.keep) < y.Len() {
-		d.keep = make([]bool, y.Len())
+	d.y = tensor.EnsureShape(d.y, x.Shape()...)
+	if cap(d.keep) < x.Len() {
+		d.keep = make([]bool, x.Len())
 	}
-	d.keep = d.keep[:y.Len()]
+	d.keep = d.keep[:x.Len()]
 	scale := 1 / (1 - d.P)
-	for i := range y.Data() {
+	xd, yd := x.Data(), d.y.Data()
+	for i, v := range xd {
 		if d.rng.Float64() < d.P {
 			d.keep[i] = false
-			y.Data()[i] = 0
+			yd[i] = 0
 		} else {
 			d.keep[i] = true
-			y.Data()[i] *= scale
+			yd[i] = v * scale
 		}
 	}
-	return y
+	return d.y
 }
 
 // Backward implements Layer.
@@ -190,14 +250,15 @@ func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.keep == nil {
 		return grad
 	}
-	g := grad.Clone()
+	d.dx = tensor.EnsureShape(d.dx, grad.Shape()...)
+	gd, dd := grad.Data(), d.dx.Data()
 	scale := 1 / (1 - d.P)
-	for i := range g.Data() {
+	for i, v := range gd {
 		if d.keep[i] {
-			g.Data()[i] *= scale
+			dd[i] = v * scale
 		} else {
-			g.Data()[i] = 0
+			dd[i] = 0
 		}
 	}
-	return g
+	return d.dx
 }

@@ -11,11 +11,13 @@ import (
 // Conv2D is a 2-D convolution over (N, C, H, W) inputs, implemented as
 // im2col + matrix multiply. Weights have shape (OutC, InC, K, K).
 //
-// The layer keeps per-instance im2col/col2im workspaces alive across
-// batches: on steady-state batch sizes the forward and backward passes
-// allocate nothing but the output activation. Workspaces are per layer
-// (hence per network), so concurrently-training client networks never
-// share scratch memory.
+// The layer keeps every per-batch buffer — im2col/col2im scratch, matmul
+// results and the output activation itself — alive across batches, so on
+// steady-state batch sizes the forward and backward passes allocate
+// nothing at all. Workspaces are per layer (hence per network), so
+// concurrently-training client networks never share scratch memory.
+// The bias add is fused into the matmul epilogue; a directly following
+// ReLU fuses into the NHWC→NCHW permute (see Network.Forward).
 type Conv2D struct {
 	InC, OutC      int
 	K, Stride, Pad int
@@ -26,31 +28,16 @@ type Conv2D struct {
 
 	// Reusable workspaces, sized lazily and re-sized only when the batch
 	// geometry changes. cols must survive from Forward to Backward (the
-	// weight gradient needs it); the rest are pure scratch.
+	// weight gradient needs it); the rest are pure scratch. y is
+	// overwritten by the next Forward; downstream layers consume it
+	// within the current pass.
 	cols  *tensor.Tensor // im2col matrix (N*OH*OW, InC*K*K)
 	ym    *tensor.Tensor // forward matmul result (N*OH*OW, OutC)
+	y     *tensor.Tensor // forward output (N, OutC, OH, OW)
 	gm    *tensor.Tensor // grad re-layout (N*OH*OW, OutC)
 	dw    *tensor.Tensor // weight gradient (OutC, InC*K*K)
 	dcols *tensor.Tensor // column gradient (N*OH*OW, InC*K*K)
 	dx    *tensor.Tensor // input gradient (N, InC, H, W)
-}
-
-// ensureShape returns t when it already has exactly the wanted shape and
-// a fresh zeroed tensor otherwise — the workspace (re)allocation policy.
-func ensureShape(t *tensor.Tensor, shape ...int) *tensor.Tensor {
-	if t != nil && t.Rank() == len(shape) {
-		same := true
-		for i, d := range shape {
-			if t.Dim(i) != d {
-				same = false
-				break
-			}
-		}
-		if same {
-			return t
-		}
-	}
-	return tensor.New(shape...)
 }
 
 // NewConv2D constructs a convolution layer with He-initialized weights.
@@ -103,6 +90,22 @@ func (c *Conv2D) OutSize(h, w int) (int, int) {
 
 // Forward implements Layer. x must be (N, InC, H, W).
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+	return c.forward(x, nil)
+}
+
+// forwardFusedReLU implements reluFused: the activation clamp and its
+// backward mask ride along with the NHWC→NCHW permute pass.
+func (c *Conv2D) forwardFusedReLU(x *tensor.Tensor, train bool, r *ReLU) *tensor.Tensor {
+	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
+	oh, ow := c.OutSize(h, w)
+	return c.forward(x, r.ensureMask(n*c.OutC*oh*ow))
+}
+
+// forward lowers the input, multiplies against the filters with the bias
+// fused into the kernel epilogue, and permutes the (N*OH*OW, OutC) result
+// into (N, OutC, OH, OW). A non-nil mask additionally applies ReLU during
+// the permute, recording which activations stayed positive.
+func (c *Conv2D) forward(x *tensor.Tensor, mask []bool) *tensor.Tensor {
 	if x.Rank() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: %s got input %v", c.Name(), x.Shape()))
 	}
@@ -110,25 +113,33 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	c.SetInputSize(h, w)
 	c.inShape = x.Shape()
 	oh, ow := c.outH, c.outW
-	c.cols = ensureShape(c.cols, n*oh*ow, c.InC*c.K*c.K)
+	c.cols = tensor.EnsureShape(c.cols, n*oh*ow, c.InC*c.K*c.K)
 	tensor.Im2ColInto(c.cols, x, c.K, c.K, c.Stride, c.Pad)
-	c.ym = ensureShape(c.ym, n*oh*ow, c.OutC)
-	tensor.MatMulTransBInto(c.ym, c.cols, c.w.W) // (N*OH*OW, OutC)
-	// The output activation is freshly allocated on purpose: it escapes
-	// into downstream layers, which may cache it between passes.
-	y := tensor.New(n, c.OutC, oh, ow)
-	yd, md, bd := y.Data(), c.ym.Data(), c.b.W.Data()
+	c.ym = tensor.EnsureShape(c.ym, n*oh*ow, c.OutC)
+	tensor.MatMulTransBBiasInto(c.ym, c.cols, c.w.W, c.b.W) // (N*OH*OW, OutC) + b
+	c.y = tensor.EnsureShape(c.y, n, c.OutC, oh, ow)
+	yd, md := c.y.Data(), c.ym.Data()
 	for img := 0; img < n; img++ {
 		for oy := 0; oy < oh; oy++ {
 			for ox := 0; ox < ow; ox++ {
 				row := ((img*oh+oy)*ow + ox) * c.OutC
 				for f := 0; f < c.OutC; f++ {
-					yd[((img*c.OutC+f)*oh+oy)*ow+ox] = md[row+f] + bd[f]
+					v := md[row+f]
+					out := ((img*c.OutC+f)*oh+oy)*ow + ox
+					if mask != nil {
+						if v > 0 {
+							mask[out] = true
+						} else {
+							mask[out] = false
+							v = 0
+						}
+					}
+					yd[out] = v
 				}
 			}
 		}
 	}
-	return y
+	return c.y
 }
 
 // Backward implements Layer. grad must be (N, OutC, OH, OW). The returned
@@ -139,7 +150,7 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Dim(0)
 	oh, ow := c.outH, c.outW
 	// Re-layout grad to (N*OH*OW, OutC) to mirror the forward matmul.
-	c.gm = ensureShape(c.gm, n*oh*ow, c.OutC)
+	c.gm = tensor.EnsureShape(c.gm, n*oh*ow, c.OutC)
 	gd, gmd := grad.Data(), c.gm.Data()
 	bg := c.b.Grad.Data()
 	for img := 0; img < n; img++ {
@@ -154,13 +165,13 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 		}
 	}
 	// dW = gmᵀ·cols : (OutC, InC*K*K).
-	c.dw = ensureShape(c.dw, c.OutC, c.InC*c.K*c.K)
+	c.dw = tensor.EnsureShape(c.dw, c.OutC, c.InC*c.K*c.K)
 	tensor.MatMulTransAInto(c.dw, c.gm, c.cols)
 	c.w.Grad.Add(c.dw)
 	// dCols = gm·W : (N*OH*OW, InC*K*K), then scatter back to image space.
-	c.dcols = ensureShape(c.dcols, n*oh*ow, c.InC*c.K*c.K)
+	c.dcols = tensor.EnsureShape(c.dcols, n*oh*ow, c.InC*c.K*c.K)
 	tensor.MatMulInto(c.dcols, c.gm, c.w.W)
-	c.dx = ensureShape(c.dx, c.inShape...)
+	c.dx = tensor.EnsureShape(c.dx, c.inShape...)
 	tensor.Col2ImInto(c.dx, c.dcols, c.K, c.K, c.Stride, c.Pad)
 	return c.dx
 }

@@ -9,10 +9,22 @@ import (
 )
 
 // Dense is a fully-connected layer: y = x·Wᵀ + b with W of shape (out, in).
+//
+// Like Conv2D, the layer keeps its output and gradient workspaces alive
+// across batches (y, dw, dx below), so a steady-state training step
+// allocates nothing. The bias add is fused into the matmul epilogue, and
+// when a ReLU immediately follows (see Network.Forward), the activation
+// and its backward mask are fused in as well.
 type Dense struct {
 	In, Out int
 	w, b    *Param
 	x       *tensor.Tensor // cached input for backward
+
+	// Reusable workspaces, sized lazily. y is overwritten by the next
+	// Forward; downstream layers consume it within the current pass.
+	y  *tensor.Tensor // forward output (N, Out)
+	dw *tensor.Tensor // weight gradient (Out, In)
+	dx *tensor.Tensor // input gradient (N, In)
 }
 
 // NewDense constructs a dense layer with He-initialized weights.
@@ -48,23 +60,34 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		panic(fmt.Sprintf("nn: %s got input %v", d.Name(), x.Shape()))
 	}
 	d.x = x
-	y := tensor.MatMulTransB(x, d.w.W) // (N,in)·(out,in)ᵀ = (N,out)
-	n := x.Dim(0)
-	yd, bd := y.Data(), d.b.W.Data()
-	for i := 0; i < n; i++ {
-		row := yd[i*d.Out : (i+1)*d.Out]
-		for j := range row {
-			row[j] += bd[j]
-		}
-	}
-	return y
+	d.y = tensor.EnsureShape(d.y, x.Dim(0), d.Out)
+	tensor.MatMulTransBBiasInto(d.y, x, d.w.W, d.b.W) // (N,in)·(out,in)ᵀ + b
+	return d.y
 }
 
-// Backward implements Layer. grad must be (N, Out).
+// forwardFusedReLU implements reluFused: it additionally rectifies the
+// output in the kernel epilogue, recording the mask the downstream ReLU
+// layer will use in its Backward.
+func (d *Dense) forwardFusedReLU(x *tensor.Tensor, train bool, r *ReLU) *tensor.Tensor {
+	if x.Rank() != 2 || x.Dim(1) != d.In {
+		panic(fmt.Sprintf("nn: %s got input %v", d.Name(), x.Shape()))
+	}
+	d.x = x
+	n := x.Dim(0)
+	d.y = tensor.EnsureShape(d.y, n, d.Out)
+	tensor.MatMulTransBBiasReLUInto(d.y, x, d.w.W, d.b.W, r.ensureMask(n*d.Out))
+	return d.y
+}
+
+// Backward implements Layer. grad must be (N, Out). The returned input
+// gradient lives in a per-layer workspace that is overwritten by the next
+// Backward call; callers consume it within the current pass (which is how
+// Network.Backward drives layers).
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// dW = gradᵀ·x, db = Σ grad rows, dx = grad·W.
-	dw := tensor.MatMulTransA(grad, d.x) // (out, in)
-	d.w.Grad.Add(dw)
+	d.dw = tensor.EnsureShape(d.dw, d.Out, d.In)
+	tensor.MatMulTransAInto(d.dw, grad, d.x)
+	d.w.Grad.Add(d.dw)
 	n := grad.Dim(0)
 	gd, bg := grad.Data(), d.b.Grad.Data()
 	for i := 0; i < n; i++ {
@@ -73,5 +96,7 @@ func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			bg[j] += v
 		}
 	}
-	return tensor.MatMul(grad, d.w.W) // (N,out)·(out,in) = (N,in)
+	d.dx = tensor.EnsureShape(d.dx, n, d.In)
+	tensor.MatMulInto(d.dx, grad, d.w.W) // (N,out)·(out,in) = (N,in)
+	return d.dx
 }

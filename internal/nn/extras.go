@@ -12,6 +12,8 @@ import (
 type AvgPool2D struct {
 	Size, Stride int
 	inShape      []int
+	y            *tensor.Tensor // forward output
+	dx           *tensor.Tensor // input gradient
 }
 
 // NewAvgPool2D constructs an average-pool layer.
@@ -31,7 +33,8 @@ func (p *AvgPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	oh := (h-p.Size)/p.Stride + 1
 	ow := (w-p.Size)/p.Stride + 1
 	p.inShape = x.Shape()
-	y := tensor.New(n, c, oh, ow)
+	p.y = tensor.EnsureShape(p.y, n, c, oh, ow)
+	y := p.y
 	xd, yd := x.Data(), y.Data()
 	inv := 1 / float64(p.Size*p.Size)
 	for img := 0; img < n; img++ {
@@ -59,7 +62,9 @@ func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n, c := p.inShape[0], p.inShape[1]
 	h, w := p.inShape[2], p.inShape[3]
 	oh, ow := grad.Dim(2), grad.Dim(3)
-	dx := tensor.New(p.inShape...)
+	p.dx = tensor.EnsureShape(p.dx, p.inShape...)
+	p.dx.Zero() // accumulated into below
+	dx := p.dx
 	gd, dd := grad.Data(), dx.Data()
 	inv := 1 / float64(p.Size*p.Size)
 	for img := 0; img < n; img++ {
@@ -84,7 +89,8 @@ func (p *AvgPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 // Tanh applies the hyperbolic tangent elementwise (the classic LeNet
 // nonlinearity).
 type Tanh struct {
-	out *tensor.Tensor
+	out *tensor.Tensor // forward output, reused as workspace
+	dx  *tensor.Tensor // input gradient
 }
 
 // NewTanh returns a tanh activation layer.
@@ -98,26 +104,28 @@ func (t *Tanh) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (t *Tanh) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
-	y.Apply(math.Tanh)
-	t.out = y
-	return y
+	t.out = tensor.EnsureShape(t.out, x.Shape()...)
+	xd, od := x.Data(), t.out.Data()
+	for i, v := range xd {
+		od[i] = math.Tanh(v)
+	}
+	return t.out
 }
 
 // Backward implements Layer.
 func (t *Tanh) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g := grad.Clone()
-	od := t.out.Data()
-	gd := g.Data()
-	for i := range gd {
-		gd[i] *= 1 - od[i]*od[i]
+	t.dx = tensor.EnsureShape(t.dx, grad.Shape()...)
+	od, gd, dd := t.out.Data(), grad.Data(), t.dx.Data()
+	for i, v := range gd {
+		dd[i] = v * (1 - od[i]*od[i])
 	}
-	return g
+	return t.dx
 }
 
 // Sigmoid applies the logistic function elementwise.
 type Sigmoid struct {
-	out *tensor.Tensor
+	out *tensor.Tensor // forward output, reused as workspace
+	dx  *tensor.Tensor // input gradient
 }
 
 // NewSigmoid returns a sigmoid activation layer.
@@ -131,21 +139,22 @@ func (s *Sigmoid) Params() []*Param { return nil }
 
 // Forward implements Layer.
 func (s *Sigmoid) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	y := x.Clone()
-	y.Apply(func(v float64) float64 { return 1 / (1 + math.Exp(-v)) })
-	s.out = y
-	return y
+	s.out = tensor.EnsureShape(s.out, x.Shape()...)
+	xd, od := x.Data(), s.out.Data()
+	for i, v := range xd {
+		od[i] = 1 / (1 + math.Exp(-v))
+	}
+	return s.out
 }
 
 // Backward implements Layer.
 func (s *Sigmoid) Backward(grad *tensor.Tensor) *tensor.Tensor {
-	g := grad.Clone()
-	od := s.out.Data()
-	gd := g.Data()
-	for i := range gd {
-		gd[i] *= od[i] * (1 - od[i])
+	s.dx = tensor.EnsureShape(s.dx, grad.Shape()...)
+	od, gd, dd := s.out.Data(), grad.Data(), s.dx.Data()
+	for i, v := range gd {
+		dd[i] = v * od[i] * (1 - od[i])
 	}
-	return g
+	return s.dx
 }
 
 // LRSchedule maps a round/epoch index to a learning rate.

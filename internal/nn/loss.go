@@ -10,11 +10,22 @@ import (
 // (N, K) against integer labels, and the gradient with respect to the
 // logits. The softmax and the loss are fused for numerical stability.
 func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
+	grad = tensor.New(logits.Dim(0), logits.Dim(1))
+	loss = SoftmaxCrossEntropyInto(grad, logits, labels)
+	return loss, grad
+}
+
+// SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the logits
+// gradient into a caller-owned (N, K) tensor — the allocation-free path
+// used by Network.TrainBatch with its persistent loss-gradient workspace.
+func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) (loss float64) {
 	n, k := logits.Dim(0), logits.Dim(1)
 	if len(labels) != n {
 		panic("nn: label count does not match batch size")
 	}
-	grad = tensor.New(n, k)
+	if grad.Dim(0) != n || grad.Dim(1) != k {
+		panic("nn: SoftmaxCrossEntropyInto grad shape mismatch")
+	}
 	ld, gd := logits.Data(), grad.Data()
 	invN := 1 / float64(n)
 	for i := 0; i < n; i++ {
@@ -44,7 +55,7 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 		g[y] -= invN
 		loss += -math.Log(math.Max(p, 1e-15))
 	}
-	return loss * invN, grad
+	return loss * invN
 }
 
 // Softmax returns row-wise softmax probabilities of logits (N, K).

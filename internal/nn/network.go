@@ -24,6 +24,21 @@ type Network struct {
 	// arch is the blueprint this network was built from (nil for networks
 	// assembled directly with NewNetwork); it enables Clone.
 	arch *Arch
+
+	// lossGrad is the persistent workspace for the logits gradient, so a
+	// steady-state TrainBatch allocates nothing.
+	lossGrad *tensor.Tensor
+}
+
+// reluFused is implemented by layers (Dense, Conv2D) whose forward pass
+// can absorb a directly following ReLU: the producer applies the clamp in
+// its own kernel and records the backward mask into r via r.ensureMask.
+// Forward uses it as a peephole — the ReLU layer's own Forward is skipped,
+// while its Backward (which only reads the mask) runs unchanged, so
+// fusion never alters results, only removes a full pass over the
+// activation tensor.
+type reluFused interface {
+	forwardFusedReLU(x *tensor.Tensor, train bool, r *ReLU) *tensor.Tensor
 }
 
 // NewNetwork builds a network from layers with the given architecture name.
@@ -31,9 +46,18 @@ func NewNetwork(arch string, layers ...Layer) *Network {
 	return &Network{Arch: arch, Layers: layers}
 }
 
-// Forward runs all layers and returns the logits.
+// Forward runs all layers and returns the logits. Dense/Conv2D layers
+// directly followed by a ReLU run as one fused kernel (see reluFused).
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
-	for _, l := range n.Layers {
+	for i := 0; i < len(n.Layers); i++ {
+		l := n.Layers[i]
+		if f, ok := l.(reluFused); ok && i+1 < len(n.Layers) {
+			if r, ok := n.Layers[i+1].(*ReLU); ok {
+				x = f.forwardFusedReLU(x, train, r)
+				i++ // the ReLU already ran inside the producer's kernel
+				continue
+			}
+		}
 		x = l.Forward(x, train)
 	}
 	return x
@@ -51,8 +75,9 @@ func (n *Network) Backward(grad *tensor.Tensor) {
 // loss. Parameter gradients are left accumulated for the optimizer.
 func (n *Network) TrainBatch(x *tensor.Tensor, labels []int) float64 {
 	logits := n.Forward(x, true)
-	loss, grad := SoftmaxCrossEntropy(logits, labels)
-	n.Backward(grad)
+	n.lossGrad = tensor.EnsureShape(n.lossGrad, logits.Dim(0), logits.Dim(1))
+	loss := SoftmaxCrossEntropyInto(n.lossGrad, logits, labels)
+	n.Backward(n.lossGrad)
 	return loss
 }
 

@@ -221,7 +221,9 @@ func TestGetSetWeightsRoundTrip(t *testing.T) {
 	w := n1.GetWeights()
 	n2.SetWeights(w)
 	x := tensor.Randn(rng, 1, 2, 1, 16, 16)
-	y1 := n1.Forward(x, false)
+	// Forward returns a per-network workspace that the next Forward on the
+	// same network overwrites, so snapshot y1 before re-running n1.
+	y1 := n1.Forward(x, false).Clone()
 	y2 := n2.Forward(x, false)
 	if !tensor.Equal(y1, y2, 1e-12) {
 		t.Fatal("networks disagree after weight transfer")
@@ -365,6 +367,72 @@ func TestNetworkSummary(t *testing.T) {
 	s := net.Summary()
 	if s == "" {
 		t.Fatal("empty summary")
+	}
+}
+
+// TestFusedReLUMatchesUnfused verifies the Network.Forward peephole: the
+// fused Dense/Conv2D+ReLU kernels must produce bit-identical activations
+// and parameter gradients to driving each layer's plain Forward in
+// sequence (the arithmetic is the same — sum, +bias, clamp — only the
+// number of passes over memory changes).
+func TestFusedReLUMatchesUnfused(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	n1 := LeNetSmall(1, 16, 16, 10).Build(rng)
+	n2 := n1.Clone()
+	x := tensor.Randn(rand.New(rand.NewSource(13)), 1, 4, 1, 16, 16)
+
+	y1 := n1.Forward(x, true).Clone() // fused path
+	y2 := x                           // unfused: drive layers directly
+	for _, l := range n2.Layers {
+		y2 = l.Forward(y2, true)
+	}
+	for i, v := range y1.Data() {
+		if math.Float64bits(v) != math.Float64bits(y2.Data()[i]) {
+			t.Fatalf("fused forward differs at %d: %v vs %v", i, v, y2.Data()[i])
+		}
+	}
+
+	grad := tensor.Randn(rand.New(rand.NewSource(14)), 1, 4, 10)
+	n1.Backward(grad.Clone())
+	g := grad.Clone()
+	for i := len(n2.Layers) - 1; i >= 0; i-- {
+		g = n2.Layers[i].Backward(g)
+	}
+	p1, p2 := n1.Params(), n2.Params()
+	for pi := range p1 {
+		g1, g2 := p1[pi].Grad.Data(), p2[pi].Grad.Data()
+		for i := range g1 {
+			if math.Float64bits(g1[i]) != math.Float64bits(g2[i]) {
+				t.Fatalf("param %s grad differs at %d: %v vs %v", p1[pi].Name, i, g1[i], g2[i])
+			}
+		}
+	}
+}
+
+// TestTrainBatchSteadyStateAllocs pins the allocation-free hot path: after
+// the first batch has sized every layer workspace, repeated TrainBatch
+// calls on the same geometry must not allocate at all. Lanes are pinned
+// to 0 so the GEMM dispatch takes its closure-free serial path (goroutine
+// fan-out would otherwise add a few closure headers per call).
+func TestTrainBatchSteadyStateAllocs(t *testing.T) {
+	old := tensor.MaxLanes()
+	tensor.SetMaxLanes(0)
+	defer tensor.SetMaxLanes(old)
+	rng := rand.New(rand.NewSource(15))
+	net := LeNetSmall(1, 16, 16, 10).Build(rng)
+	x := tensor.Randn(rng, 1, 20, 1, 16, 16)
+	labels := make([]int, 20)
+	for i := range labels {
+		labels[i] = i % 10
+	}
+	net.TrainBatch(x, labels) // first batch sizes all workspaces
+	avg := testing.AllocsPerRun(10, func() {
+		net.TrainBatch(x, labels)
+	})
+	// Allow a sliver of slack for a GC emptying the GEMM scratch pool
+	// mid-measurement; anything recurring would show up as ≥ 1 per run.
+	if avg > 0.5 {
+		t.Fatalf("steady-state TrainBatch allocates %.1f objects/run, want 0", avg)
 	}
 }
 

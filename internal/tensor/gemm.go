@@ -1,0 +1,355 @@
+package tensor
+
+import "sync"
+
+// Blocked, packed GEMM core with fused epilogues.
+//
+// Every matrix multiply in this package (plain, Aᵀ·B, A·Bᵀ) routes through
+// gemm, which dispatches between a naive single-threaded kernel for tiny
+// problems and a BLIS/GotoBLAS-style blocked kernel for everything else:
+//
+//   - The output matrix is cut into a fixed grid of gemmMC×gemmNC cells.
+//   - Each cell is computed start-to-finish by exactly one goroutine: it
+//     walks the k dimension in gemmKC panels (in ascending order), packs
+//     the A and B panels into per-goroutine scratch (pack.go), and runs a
+//     gemmMR×gemmNR register-tiled micro-kernel over the packed panels
+//     (4×2 — sized to the amd64 register file, see micro4x2).
+//     The first k-panel stores into C (implicit beta=0 — callers never
+//     pre-zero), subsequent panels accumulate.
+//   - After the k loop the cell owner applies the fused epilogue (+bias,
+//     +bias→ReLU with optional mask capture) to its region of C.
+//
+// Determinism: the cell grid and panel boundaries depend only on the
+// problem shape (compile-time constants), and each output element is
+// produced by one goroutine running a fixed instruction sequence — the
+// floating-point accumulation order never depends on how many lanes the
+// semaphore granted. Results are therefore bit-identical for any lane
+// count, which the federated engines' bit-identical-history guarantee
+// (internal/fl) inherits.
+
+// gemmSmallCutoff is the m·n·k volume below which the retained naive
+// kernels win (no packing or pool traffic). Depends only on the shape,
+// never on lane availability, so path selection is deterministic too.
+const gemmSmallCutoff = 4096
+
+// gemmParallelCutoff is the m·n·k volume below which the blocked kernel
+// does not ask the lane semaphore for help.
+const gemmParallelCutoff = 1 << 18
+
+// epi is the fused epilogue applied to each output element after the full
+// k reduction: dst = f(sum + bias), where f is ReLU when relu is set.
+type epi struct {
+	bias []float64 // length n, broadcast across rows; nil = none
+	relu bool
+	mask []bool // optional m*n ReLU mask: mask[i*n+j] = (pre-clamp value > 0)
+}
+
+// gemmScratch is one goroutine's packing workspace. Pooled so that
+// concurrently-training clients (and concurrent GEMM lanes) never share
+// scratch, while steady-state training allocates nothing.
+type gemmScratch struct {
+	ap []float64 // packed A block, gemmMC×gemmKC
+	bp []float64 // packed B block, gemmKC×gemmNC
+}
+
+var gemmPool = sync.Pool{New: func() any {
+	return &gemmScratch{
+		ap: make([]float64, gemmMC*gemmKC),
+		bp: make([]float64, gemmKC*gemmNC),
+	}
+}}
+
+// gemm computes dst = epilogue(op(a)·op(b)) where op is optional
+// transposition. dst must be m×n and is fully overwritten.
+func gemm(dst, a, b *Tensor, transA, transB bool, e epi) {
+	ad, bd, cd := a.data, b.data, dst.data
+	var m, k, n int
+	var ars, acs, brs, bcs int
+	if transA {
+		k, m = a.Dim(0), a.Dim(1)
+		ars, acs = 1, m
+	} else {
+		m, k = a.Dim(0), a.Dim(1)
+		ars, acs = k, 1
+	}
+	if transB {
+		n = b.Dim(0)
+		if b.Dim(1) != k {
+			panic("tensor: gemm inner dimension mismatch")
+		}
+		brs, bcs = 1, k
+	} else {
+		if b.Dim(0) != k {
+			panic("tensor: gemm inner dimension mismatch")
+		}
+		n = b.Dim(1)
+		brs, bcs = n, 1
+	}
+	if dst.Dim(0) != m || dst.Dim(1) != n {
+		panic("tensor: gemm output shape mismatch")
+	}
+	if e.bias != nil && len(e.bias) != n {
+		panic("tensor: gemm bias length mismatch")
+	}
+	if e.mask != nil && len(e.mask) < m*n {
+		panic("tensor: gemm mask too short")
+	}
+	if m == 0 || n == 0 {
+		return
+	}
+	if k == 0 {
+		for i := range cd {
+			cd[i] = 0
+		}
+		applyEpi(cd, n, 0, m, 0, n, e)
+		return
+	}
+	if m*n*k <= gemmSmallCutoff {
+		switch {
+		case transA:
+			naiveMatMulTransAInto(dst, a, b)
+		case transB:
+			naiveMatMulTransBInto(dst, a, b)
+		default:
+			naiveMatMulInto(dst, a, b)
+		}
+		applyEpi(cd, n, 0, m, 0, n, e)
+		return
+	}
+	gemmBlocked(cd, ad, bd, m, n, k, ars, acs, brs, bcs, e)
+}
+
+// gemmBlocked runs the panel-blocked kernel over the full output, fanning
+// grid cells out across whatever lanes the shared semaphore grants.
+func gemmBlocked(cd, ad, bd []float64, m, n, k, ars, acs, brs, bcs int, e epi) {
+	rc := (m + gemmMC - 1) / gemmMC
+	cc := (n + gemmNC - 1) / gemmNC
+	cells := rc * cc
+	// Serial path first, with no closures in scope: an escaping kernel
+	// closure would be heap-allocated even when never spawned, costing a
+	// few objects per call on the steady-state training path. The
+	// MaxLanes()==0 check only short-circuits dispatch — per-cell results
+	// are bit-identical on either path, so it cannot affect outputs.
+	if cells == 1 || m*n*k < gemmParallelCutoff || MaxLanes() == 0 {
+		s := gemmPool.Get().(*gemmScratch)
+		for cell := 0; cell < cells; cell++ {
+			gemmProcCell(cd, ad, bd, m, n, k, ars, acs, brs, bcs, e, cc, cell, s)
+		}
+		gemmPool.Put(s)
+		return
+	}
+	parallelChunks(cells, func(c0, c1 int) {
+		s := gemmPool.Get().(*gemmScratch)
+		for cell := c0; cell < c1; cell++ {
+			gemmProcCell(cd, ad, bd, m, n, k, ars, acs, brs, bcs, e, cc, cell, s)
+		}
+		gemmPool.Put(s)
+	})
+}
+
+// gemmProcCell computes one output grid cell and applies the epilogue to
+// its region. Top-level (not a closure) so the serial path stays
+// allocation-free.
+func gemmProcCell(cd, ad, bd []float64, m, n, k, ars, acs, brs, bcs int, e epi, cc, cell int, s *gemmScratch) {
+	i0 := (cell / cc) * gemmMC
+	j0 := (cell % cc) * gemmNC
+	mc := min(gemmMC, m-i0)
+	nc := min(gemmNC, n-j0)
+	gemmCell(cd, ad, bd, n, k, i0, j0, mc, nc, ars, acs, brs, bcs, s)
+	applyEpi(cd, n, i0, i0+mc, j0, j0+nc, e)
+}
+
+// gemmCell computes the mc×nc output cell at (i0, j0): pack a k-panel of
+// each operand, run the micro-kernel over every register tile, merge into
+// C (store on the first panel, accumulate on the rest).
+func gemmCell(cd, ad, bd []float64, n, k, i0, j0, mc, nc int, ars, acs, brs, bcs int, s *gemmScratch) {
+	for p0 := 0; p0 < k; p0 += gemmKC {
+		kc := min(gemmKC, k-p0)
+		packA(s.ap, ad, ars, acs, i0, p0, mc, kc)
+		packB(s.bp, bd, brs, bcs, p0, j0, kc, nc)
+		first := p0 == 0
+		var acc [gemmMR * gemmNR]float64
+		for jr := 0; jr < nc; jr += gemmNR {
+			bp := s.bp[(jr/gemmNR)*gemmNR*kc:]
+			for ir := 0; ir < mc; ir += gemmMR {
+				ap := s.ap[(ir/gemmMR)*gemmMR*kc:]
+				micro4x2(kc, ap, bp, &acc)
+				mergeTile(cd, n, i0+ir, j0+jr, min(gemmMR, mc-ir), min(gemmNR, nc-jr), &acc, first)
+			}
+		}
+	}
+}
+
+// micro4x2 multiplies one packed A micro-panel (gemmMR×kc, column-major)
+// by one packed B micro-panel (kc×gemmNR, row-major), keeping the full
+// 4×2 product tile in scalar registers across the k loop. The tile shape
+// is chosen for the register budget: 8 accumulators + 4 A values + 2 B
+// values = 14 live floats, which fits amd64's 16 XMM registers — a 4×4
+// tile needs 24 and spills every iteration, which benchmarked slower than
+// the naive kernel it was meant to replace. The k loop is unrolled 8×
+// (with a single-step remainder loop) to amortize branch overhead over
+// the 16 independent multiply-add chains per step.
+//
+// k runs strictly ascending through both loops, which fixes the
+// floating-point reduction order regardless of kc or unroll boundaries.
+func micro4x2(kc int, ap, bp []float64, acc *[gemmMR * gemmNR]float64) {
+	var c00, c01 float64
+	var c10, c11 float64
+	var c20, c21 float64
+	var c30, c31 float64
+	ap = ap[: gemmMR*kc : gemmMR*kc]
+	bp = bp[: gemmNR*kc : gemmNR*kc]
+	for len(ap) >= 32 && len(bp) >= 16 {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1 := bp[0], bp[1]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[4], ap[5], ap[6], ap[7]
+		b0, b1 = bp[2], bp[3]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[8], ap[9], ap[10], ap[11]
+		b0, b1 = bp[4], bp[5]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[12], ap[13], ap[14], ap[15]
+		b0, b1 = bp[6], bp[7]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[16], ap[17], ap[18], ap[19]
+		b0, b1 = bp[8], bp[9]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[20], ap[21], ap[22], ap[23]
+		b0, b1 = bp[10], bp[11]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[24], ap[25], ap[26], ap[27]
+		b0, b1 = bp[12], bp[13]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		a0, a1, a2, a3 = ap[28], ap[29], ap[30], ap[31]
+		b0, b1 = bp[14], bp[15]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		ap = ap[32:]
+		bp = bp[16:]
+	}
+	for len(ap) >= 4 && len(bp) >= 2 {
+		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
+		b0, b1 := bp[0], bp[1]
+		c00 += a0 * b0
+		c01 += a0 * b1
+		c10 += a1 * b0
+		c11 += a1 * b1
+		c20 += a2 * b0
+		c21 += a2 * b1
+		c30 += a3 * b0
+		c31 += a3 * b1
+		ap = ap[4:]
+		bp = bp[2:]
+	}
+	acc[0], acc[1] = c00, c01
+	acc[2], acc[3] = c10, c11
+	acc[4], acc[5] = c20, c21
+	acc[6], acc[7] = c30, c31
+}
+
+// mergeTile writes the valid mr×nr corner of a micro-tile into C at
+// (i, j): plain store for the first k-panel (beta=0), accumulate after.
+func mergeTile(cd []float64, n, i, j, mr, nr int, acc *[gemmMR * gemmNR]float64, first bool) {
+	for r := 0; r < mr; r++ {
+		row := cd[(i+r)*n+j : (i+r)*n+j+nr]
+		av := acc[r*gemmNR : r*gemmNR+nr]
+		if first {
+			copy(row, av)
+		} else {
+			for c, v := range av {
+				row[c] += v
+			}
+		}
+	}
+}
+
+// applyEpi applies the fused epilogue over rows [i0,i1) × cols [j0,j1) of
+// the n-column output. A no-op for the plain kernels.
+func applyEpi(cd []float64, n, i0, i1, j0, j1 int, e epi) {
+	if e.bias == nil && !e.relu {
+		return
+	}
+	for i := i0; i < i1; i++ {
+		row := cd[i*n+j0 : i*n+j1]
+		if e.bias != nil {
+			for jj, bv := range e.bias[j0:j1] {
+				row[jj] += bv
+			}
+		}
+		if e.relu {
+			if e.mask != nil {
+				base := i*n + j0
+				for jj, v := range row {
+					if v > 0 {
+						e.mask[base+jj] = true
+					} else {
+						e.mask[base+jj] = false
+						row[jj] = 0
+					}
+				}
+			} else {
+				for jj, v := range row {
+					if v <= 0 {
+						row[jj] = 0
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func randTensor(rng *rand.Rand, shape ...int) *Tensor {
+	t := New(shape...)
+	for i := range t.Data() {
+		t.Data()[i] = rng.NormFloat64()
+	}
+	return t
+}
+
+// blockedInto forces the blocked kernel (bypassing the small-shape naive
+// fast path) with the same stride setup as gemm, so property tests can
+// exercise packing/micro-kernel logic on tiny shapes too.
+func blockedInto(dst, a, b *Tensor, transA, transB bool, e epi) {
+	var m, k, n int
+	var ars, acs, brs, bcs int
+	if transA {
+		k, m = a.Dim(0), a.Dim(1)
+		ars, acs = 1, m
+	} else {
+		m, k = a.Dim(0), a.Dim(1)
+		ars, acs = k, 1
+	}
+	if transB {
+		n = b.Dim(0)
+		brs, bcs = 1, k
+	} else {
+		n = b.Dim(1)
+		brs, bcs = n, 1
+	}
+	gemmBlocked(dst.data, a.data, b.data, m, n, k, ars, acs, brs, bcs, e)
+}
+
+// maxAbsDiff returns the largest elementwise |a−b|.
+func maxAbsDiff(a, b *Tensor) float64 {
+	worst := 0.0
+	for i, v := range a.Data() {
+		if d := math.Abs(v - b.Data()[i]); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+// TestBlockedMatchesNaiveProperty sweeps all three layouts over every
+// (m, k, n) combination from a size set covering 1×1, sub-tile, exactly
+// one tile, and one-past-a-tile ragged edges, comparing the blocked
+// kernel (forced, even below the small cutoff) against the retained naive
+// references.
+func TestBlockedMatchesNaiveProperty(t *testing.T) {
+	sizes := []int{1, 3, 5, 17, 64, 65}
+	rng := rand.New(rand.NewSource(42))
+	for _, m := range sizes {
+		for _, k := range sizes {
+			for _, n := range sizes {
+				// Plain A·B.
+				a := randTensor(rng, m, k)
+				b := randTensor(rng, k, n)
+				want, got := New(m, n), New(m, n)
+				naiveMatMulInto(want, a, b)
+				blockedInto(got, a, b, false, false, epi{})
+				if d := maxAbsDiff(want, got); d > 1e-12 {
+					t.Fatalf("A·B m=%d k=%d n=%d: max diff %g", m, k, n, d)
+				}
+				// Aᵀ·B with A stored (k, m).
+				at := randTensor(rng, k, m)
+				naiveMatMulTransAInto(want, at, b)
+				blockedInto(got, at, b, true, false, epi{})
+				if d := maxAbsDiff(want, got); d > 1e-12 {
+					t.Fatalf("Aᵀ·B m=%d k=%d n=%d: max diff %g", m, k, n, d)
+				}
+				// A·Bᵀ with B stored (n, k).
+				bt := randTensor(rng, n, k)
+				naiveMatMulTransBInto(want, a, bt)
+				blockedInto(got, a, bt, false, true, epi{})
+				if d := maxAbsDiff(want, got); d > 1e-12 {
+					t.Fatalf("A·Bᵀ m=%d k=%d n=%d: max diff %g", m, k, n, d)
+				}
+			}
+		}
+	}
+}
+
+// TestBlockedMatchesNaiveMultiPanel covers shapes that span several MC/NC
+// grid cells and several KC k-panels, where the blocked kernel's partial-
+// sum tree differs from the naive running sum — agreement must hold to
+// accumulated-roundoff tolerance.
+func TestBlockedMatchesNaiveMultiPanel(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m, k, n := 150, 600, 500 // rc=2, cc=3, three k-panels
+	a := randTensor(rng, m, k)
+	b := randTensor(rng, k, n)
+	want, got := New(m, n), New(m, n)
+	naiveMatMulInto(want, a, b)
+	MatMulInto(got, a, b)
+	if d := maxAbsDiff(want, got); d > 1e-10 {
+		t.Fatalf("multi-panel A·B: max diff %g", d)
+	}
+	at := randTensor(rng, k, m)
+	naiveMatMulTransAInto(want, at, b)
+	MatMulTransAInto(got, at, b)
+	if d := maxAbsDiff(want, got); d > 1e-10 {
+		t.Fatalf("multi-panel Aᵀ·B: max diff %g", d)
+	}
+	bt := randTensor(rng, n, k)
+	naiveMatMulTransBInto(want, a, bt)
+	MatMulTransBInto(got, a, bt)
+	if d := maxAbsDiff(want, got); d > 1e-10 {
+		t.Fatalf("multi-panel A·Bᵀ: max diff %g", d)
+	}
+}
+
+// TestGEMMEpilogueBias checks the fused bias epilogue on both dispatch
+// paths (naive small-shape and blocked) against an explicit reference.
+func TestGEMMEpilogueBias(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][3]int{{5, 7, 9}, {100, 80, 70}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randTensor(rng, m, k)
+		bt := randTensor(rng, n, k)
+		bias := randTensor(rng, n)
+		want := New(m, n)
+		naiveMatMulTransBInto(want, a, bt)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				want.Data()[i*n+j] += bias.Data()[j]
+			}
+		}
+		got := New(m, n)
+		MatMulTransBBiasInto(got, a, bt, bias)
+		if d := maxAbsDiff(want, got); d > 1e-10 {
+			t.Fatalf("bias epilogue m=%d k=%d n=%d: max diff %g", m, k, n, d)
+		}
+	}
+}
+
+// TestGEMMEpilogueBiasReLU checks the fused bias+ReLU epilogue, including
+// the backward mask, on both dispatch paths.
+func TestGEMMEpilogueBiasReLU(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, dims := range [][3]int{{5, 7, 9}, {100, 80, 70}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a := randTensor(rng, m, k)
+		bt := randTensor(rng, n, k)
+		bias := randTensor(rng, n)
+		pre := New(m, n)
+		naiveMatMulTransBInto(pre, a, bt)
+		got := New(m, n)
+		mask := make([]bool, m*n)
+		MatMulTransBBiasReLUInto(got, a, bt, bias, mask)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				v := pre.Data()[i*n+j] + bias.Data()[j]
+				wantMask := v > 0
+				if !wantMask {
+					v = 0
+				}
+				idx := i*n + j
+				if math.Abs(got.Data()[idx]-v) > 1e-10 {
+					t.Fatalf("relu epilogue value (%d,%d): got %g want %g", i, j, got.Data()[idx], v)
+				}
+				if mask[idx] != wantMask {
+					t.Fatalf("relu mask (%d,%d): got %v want %v", i, j, mask[idx], wantMask)
+				}
+			}
+		}
+	}
+}
+
+// withLanes runs f with the lane pool resized to n, restoring the previous
+// capacity afterwards.
+func withLanes(t *testing.T, n int, f func()) {
+	t.Helper()
+	old := MaxLanes()
+	SetMaxLanes(n)
+	defer SetMaxLanes(old)
+	f()
+}
+
+// TestGEMMBitIdenticalAcrossLanes verifies the kernel's core determinism
+// claim: on a shape spanning multiple grid cells and k-panels (so the
+// parallel path genuinely fans out), results are bit-identical for every
+// lane count, mirroring the federated engines' bit-identical-history
+// guarantee in internal/fl/parallel_test.go.
+func TestGEMMBitIdenticalAcrossLanes(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	m, k, n := 260, 300, 250 // rc=3, cc=2 cells; two k-panels; mnk ≫ parallel cutoff
+	a := randTensor(rng, m, k)
+	b := randTensor(rng, k, n)
+	at := randTensor(rng, k, m)
+	bt := randTensor(rng, n, k)
+	bias := randTensor(rng, n)
+	mask := make([]bool, m*n)
+
+	type op struct {
+		name string
+		run  func(dst *Tensor)
+	}
+	ops := []op{
+		{"MatMulInto", func(dst *Tensor) { MatMulInto(dst, a, b) }},
+		{"MatMulTransAInto", func(dst *Tensor) { MatMulTransAInto(dst, at, b) }},
+		{"MatMulTransBInto", func(dst *Tensor) { MatMulTransBInto(dst, a, bt) }},
+		{"MatMulTransBBiasReLUInto", func(dst *Tensor) { MatMulTransBBiasReLUInto(dst, a, bt, bias, mask) }},
+	}
+	for _, o := range ops {
+		ref := New(m, n)
+		withLanes(t, 0, func() { o.run(ref) })
+		for _, lanes := range []int{1, 2, 3, 8} {
+			got := New(m, n)
+			withLanes(t, lanes, func() { o.run(got) })
+			for i, v := range got.Data() {
+				if math.Float64bits(v) != math.Float64bits(ref.Data()[i]) {
+					t.Fatalf("%s: lanes=%d differs from serial at %d: %x vs %x",
+						o.name, lanes, i, math.Float64bits(v), math.Float64bits(ref.Data()[i]))
+				}
+			}
+		}
+	}
+}
+
+// TestGEMMKZeroAndEmpty pins the degenerate-shape contract: k=0 zeroes the
+// output (then applies the epilogue), m=0 or n=0 is a no-op.
+func TestGEMMKZeroAndEmpty(t *testing.T) {
+	a := New(3, 0)
+	b := New(0, 4)
+	dst := New(3, 4)
+	dst.Fill(99)
+	MatMulInto(dst, a, b)
+	for _, v := range dst.Data() {
+		if v != 0 {
+			t.Fatalf("k=0 must zero dst, got %v", v)
+		}
+	}
+	bias := From([]float64{1, 2, 3, 4}, 4)
+	bt := New(4, 0)
+	MatMulTransBBiasInto(dst, a, bt, bias)
+	for i, v := range dst.Data() {
+		if v != bias.Data()[i%4] {
+			t.Fatalf("k=0 bias epilogue: dst[%d]=%v", i, v)
+		}
+	}
+}
+
+func TestEnsureShape(t *testing.T) {
+	a := New(3, 4)
+	a.Fill(5)
+	if got := EnsureShape(a, 3, 4); got != a {
+		t.Fatal("EnsureShape must reuse an exact-shape tensor")
+	}
+	if a.Data()[0] != 5 {
+		t.Fatal("EnsureShape must preserve reused contents")
+	}
+	b := EnsureShape(a, 4, 3)
+	if b == a {
+		t.Fatal("EnsureShape must reallocate on shape change")
+	}
+	if b.Dim(0) != 4 || b.Dim(1) != 3 || b.Data()[0] != 0 {
+		t.Fatal("EnsureShape reallocation must be zeroed with the new shape")
+	}
+	if got := EnsureShape(nil, 2, 2); got == nil || got.Len() != 4 {
+		t.Fatal("EnsureShape must allocate for nil input")
+	}
+}
+
+// Benchmark shapes are the dominant real GEMMs of the paper's two models
+// at batch 20 (im2col-lowered): VGG6's block-3 conv (m=N·7·7, k=720, n=96)
+// and LeNet's conv2 (m=N·8·8, k=500, n=40). Naive vs blocked on the same
+// shape measures the single-thread kernel speedup recorded in
+// BENCH_gemm.json; lanes are pinned to 0 so the comparison is serial.
+func benchGEMMShape(b *testing.B, m, k, n int, naive bool) {
+	rng := rand.New(rand.NewSource(1))
+	a := randTensor(rng, m, k)
+	bt := randTensor(rng, n, k)
+	dst := New(m, n)
+	old := MaxLanes()
+	SetMaxLanes(0)
+	defer SetMaxLanes(old)
+	b.SetBytes(int64(8 * (m*k + n*k + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if naive {
+			naiveMatMulTransBInto(dst, a, bt)
+		} else {
+			MatMulTransBInto(dst, a, bt)
+		}
+	}
+}
+
+func BenchmarkGEMMNaiveVGG6Conv(b *testing.B)   { benchGEMMShape(b, 980, 720, 96, true) }
+func BenchmarkGEMMBlockedVGG6Conv(b *testing.B) { benchGEMMShape(b, 980, 720, 96, false) }
+func BenchmarkGEMMNaiveLeNetConv(b *testing.B)  { benchGEMMShape(b, 1280, 500, 40, true) }
+func BenchmarkGEMMBlockedLeNetConv(b *testing.B) {
+	benchGEMMShape(b, 1280, 500, 40, false)
+}
+func BenchmarkGEMMNaiveVGG6Dense(b *testing.B)   { benchGEMMShape(b, 20, 4704, 1120, true) }
+func BenchmarkGEMMBlockedVGG6Dense(b *testing.B) { benchGEMMShape(b, 20, 4704, 1120, false) }

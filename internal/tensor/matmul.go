@@ -1,47 +1,11 @@
 package tensor
 
-import "sync"
-
-// parallelThreshold is the number of output elements above which MatMul
-// fans out across goroutines. Small multiplies stay single-threaded to
-// avoid scheduling overhead.
-const parallelThreshold = 64 * 64
-
-// parallelRows runs kernel over the row range [0, m) split across the
-// caller plus as many extra lanes as the shared pool will give it (at
-// most m−1). Each row is processed entirely by one goroutine with a
-// fixed inner loop order, so the result is bit-identical no matter how
-// many lanes were available — chunking only changes wall-clock time.
-func parallelRows(m int, kernel func(i0, i1 int)) {
-	extra := TryAcquireLanes(m - 1)
-	if extra == 0 {
-		kernel(0, m)
-		return
-	}
-	parts := extra + 1
-	chunk := (m + parts - 1) / parts
-	var wg sync.WaitGroup
-	for w := 1; w < parts; w++ {
-		i0 := w * chunk
-		i1 := i0 + chunk
-		if i1 > m {
-			i1 = m
-		}
-		if i0 >= i1 {
-			break
-		}
-		wg.Add(1)
-		go func(i0, i1 int) {
-			defer wg.Done()
-			kernel(i0, i1)
-		}(i0, i1)
-	}
-	if chunk > 0 {
-		kernel(0, min(chunk, m))
-	}
-	wg.Wait()
-	ReleaseLanes(extra)
-}
+// Matrix-multiply entry points. All three layouts (A·B, Aᵀ·B, A·Bᵀ) and
+// the fused-epilogue variants route through the blocked, packed GEMM core
+// in gemm.go; the original PR-1 loop kernels are retained below as
+// unexported, single-threaded reference implementations — they serve as
+// the small-shape fast path and as the ground truth for the blocked
+// kernel's property tests.
 
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n) and returns
 // a new m×n tensor. It panics on shape mismatch.
@@ -58,36 +22,7 @@ func MatMul(a, b *Tensor) *Tensor {
 
 // MatMulInto computes dst = A·B, overwriting dst. dst must be m×n.
 func MatMulInto(dst, a, b *Tensor) {
-	m, k := a.Dim(0), a.Dim(1)
-	n := b.Dim(1)
-	if b.Dim(0) != k || dst.Dim(0) != m || dst.Dim(1) != n {
-		panic("tensor: MatMulInto shape mismatch")
-	}
-	ad, bd, cd := a.data, b.data, dst.data
-	for i := range cd {
-		cd[i] = 0
-	}
-	rowKernel := func(i0, i1 int) {
-		// i-k-j loop order: streams through B rows, autovectorizes well.
-		for i := i0; i < i1; i++ {
-			ci := cd[i*n : (i+1)*n]
-			for l := 0; l < k; l++ {
-				av := ad[i*k+l]
-				if av == 0 {
-					continue
-				}
-				bi := bd[l*n : (l+1)*n]
-				for j, bv := range bi {
-					ci[j] += av * bv
-				}
-			}
-		}
-	}
-	if m*n < parallelThreshold || m < 2 {
-		rowKernel(0, m)
-		return
-	}
-	parallelRows(m, rowKernel)
+	gemm(dst, a, b, false, false, epi{})
 }
 
 // MatMulTransA computes C = Aᵀ·B where A is k×m and B is k×n, yielding m×n.
@@ -104,6 +39,68 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 
 // MatMulTransAInto computes dst = Aᵀ·B, overwriting dst. dst must be m×n.
 func MatMulTransAInto(dst, a, b *Tensor) {
+	gemm(dst, a, b, true, false, epi{})
+}
+
+// MatMulTransB computes C = A·Bᵀ where A is m×k and B is n×k, yielding m×n.
+func MatMulTransB(a, b *Tensor) *Tensor {
+	m := a.Dim(0)
+	n := b.Dim(0)
+	c := New(m, n)
+	MatMulTransBInto(c, a, b)
+	return c
+}
+
+// MatMulTransBInto computes dst = A·Bᵀ, overwriting dst. dst must be m×n.
+func MatMulTransBInto(dst, a, b *Tensor) {
+	gemm(dst, a, b, false, true, epi{})
+}
+
+// MatMulTransBBiasInto computes dst = A·Bᵀ + bias with the bias (length n)
+// broadcast across rows, fused into the kernel epilogue — the forward pass
+// of a dense or im2col-lowered convolution layer in one call, with no
+// separate zeroing or bias loop over dst.
+func MatMulTransBBiasInto(dst, a, b, bias *Tensor) {
+	gemm(dst, a, b, false, true, epi{bias: bias.data})
+}
+
+// MatMulTransBBiasReLUInto computes dst = max(0, A·Bᵀ + bias), recording
+// mask[i*n+j] = (pre-clamp value > 0) when mask is non-nil — the fused
+// dense+bias+ReLU forward. mask must have at least m·n entries.
+func MatMulTransBBiasReLUInto(dst, a, b, bias *Tensor, mask []bool) {
+	gemm(dst, a, b, false, true, epi{bias: bias.data, relu: true, mask: mask})
+}
+
+// naiveMatMulInto is the PR-1 i-k-j kernel (single-threaded), kept as the
+// reference implementation and the small-shape fast path.
+func naiveMatMulInto(dst, a, b *Tensor) {
+	m, k := a.Dim(0), a.Dim(1)
+	n := b.Dim(1)
+	if b.Dim(0) != k || dst.Dim(0) != m || dst.Dim(1) != n {
+		panic("tensor: MatMulInto shape mismatch")
+	}
+	ad, bd, cd := a.data, b.data, dst.data
+	for i := range cd {
+		cd[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		ci := cd[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			av := ad[i*k+l]
+			if av == 0 {
+				continue
+			}
+			bi := bd[l*n : (l+1)*n]
+			for j, bv := range bi {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// naiveMatMulTransAInto is the PR-1 Aᵀ·B kernel (single-threaded), kept as
+// the reference implementation and the small-shape fast path.
+func naiveMatMulTransAInto(dst, a, b *Tensor) {
 	k, m := a.Dim(0), a.Dim(1)
 	n := b.Dim(1)
 	if b.Dim(0) != k || dst.Dim(0) != m || dst.Dim(1) != n {
@@ -128,42 +125,27 @@ func MatMulTransAInto(dst, a, b *Tensor) {
 	}
 }
 
-// MatMulTransB computes C = A·Bᵀ where A is m×k and B is n×k, yielding m×n.
-func MatMulTransB(a, b *Tensor) *Tensor {
-	m := a.Dim(0)
-	n := b.Dim(0)
-	c := New(m, n)
-	MatMulTransBInto(c, a, b)
-	return c
-}
-
-// MatMulTransBInto computes dst = A·Bᵀ, overwriting dst. dst must be m×n.
-func MatMulTransBInto(dst, a, b *Tensor) {
+// naiveMatMulTransBInto is the PR-1 A·Bᵀ kernel (single-threaded), kept as
+// the reference implementation and the small-shape fast path.
+func naiveMatMulTransBInto(dst, a, b *Tensor) {
 	m, k := a.Dim(0), a.Dim(1)
 	n := b.Dim(0)
 	if b.Dim(1) != k || dst.Dim(0) != m || dst.Dim(1) != n {
 		panic("tensor: MatMulTransBInto shape mismatch")
 	}
 	ad, bd, cd := a.data, b.data, dst.data
-	kernel := func(i0, i1 int) {
-		for i := i0; i < i1; i++ {
-			ai := ad[i*k : (i+1)*k]
-			ci := cd[i*n : (i+1)*n]
-			for j := 0; j < n; j++ {
-				bj := bd[j*k : (j+1)*k]
-				s := 0.0
-				for l, av := range ai {
-					s += av * bj[l]
-				}
-				ci[j] = s
+	for i := 0; i < m; i++ {
+		ai := ad[i*k : (i+1)*k]
+		ci := cd[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			bj := bd[j*k : (j+1)*k]
+			s := 0.0
+			for l, av := range ai {
+				s += av * bj[l]
 			}
+			ci[j] = s
 		}
 	}
-	if m*n < parallelThreshold || m < 2 {
-		kernel(0, m)
-		return
-	}
-	parallelRows(m, kernel)
 }
 
 // Transpose returns the transpose of a 2-D tensor.

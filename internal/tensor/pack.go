@@ -1,0 +1,75 @@
+package tensor
+
+// Panel packing for the blocked GEMM core (gemm.go). Both operands are
+// repacked into contiguous, micro-kernel-shaped panels before the inner
+// loops run: packing absorbs the operand transposition (via row/column
+// strides) and zero-pads ragged tails, so the register-tiled micro-kernel
+// is branch-free and always streams unit-stride memory.
+//
+// Blocking parameters. These are fixed compile-time constants on purpose:
+// the panel grid they induce over the output matrix is identical for
+// every lane count, which is one half of the bit-determinism argument
+// (the other half is that each grid cell is computed start-to-finish by
+// exactly one goroutine; see gemm.go).
+const (
+	// gemmMR × gemmNR is the register tile: the micro-kernel keeps a full
+	// MR×NR block of C in scalar registers across the k loop. 4×2 is the
+	// largest tile whose working set (MR·NR accumulators + MR A values +
+	// NR B values = 14 floats) fits amd64's 16 XMM registers; see micro4x2
+	// in gemm.go for the measured cost of exceeding that.
+	gemmMR = 4
+	gemmNR = 2
+	// gemmMC rows of A are packed per panel (multiple of gemmMR).
+	gemmMC = 128
+	// gemmKC is the depth of one packed panel pair: an A panel is
+	// gemmMC×gemmKC (256 KB), small enough to stay cache-resident while
+	// the B panel streams against it.
+	gemmKC = 256
+	// gemmNC columns of B are packed per panel (multiple of gemmNR).
+	gemmNC = 240
+)
+
+// packA copies the mc×kc block of the logical matrix A starting at row i0,
+// depth p0 into ap as column-major micro-panels of gemmMR rows, zero-
+// padding the last panel when mc is not a multiple of gemmMR. Element
+// (i, l) of the logical (possibly transposed) A is ad[i*ars + l*acs].
+func packA(ap, ad []float64, ars, acs, i0, p0, mc, kc int) {
+	idx := 0
+	for ir := 0; ir < mc; ir += gemmMR {
+		rows := min(gemmMR, mc-ir)
+		base := (i0+ir)*ars + p0*acs
+		for l := 0; l < kc; l++ {
+			off := base + l*acs
+			for r := 0; r < rows; r++ {
+				ap[idx+r] = ad[off+r*ars]
+			}
+			for r := rows; r < gemmMR; r++ {
+				ap[idx+r] = 0
+			}
+			idx += gemmMR
+		}
+	}
+}
+
+// packB copies the kc×nc block of the logical matrix B starting at depth
+// p0, column j0 into bp as row-major micro-panels of gemmNR columns,
+// zero-padding the last panel when nc is not a multiple of gemmNR.
+// Element (l, j) of the logical (possibly transposed) B is
+// bd[l*brs + j*bcs].
+func packB(bp, bd []float64, brs, bcs, p0, j0, kc, nc int) {
+	idx := 0
+	for jr := 0; jr < nc; jr += gemmNR {
+		cols := min(gemmNR, nc-jr)
+		base := p0*brs + (j0+jr)*bcs
+		for l := 0; l < kc; l++ {
+			off := base + l*brs
+			for c := 0; c < cols; c++ {
+				bp[idx+c] = bd[off+c*bcs]
+			}
+			for c := cols; c < gemmNR; c++ {
+				bp[idx+c] = 0
+			}
+			idx += gemmNR
+		}
+	}
+}

@@ -1,6 +1,9 @@
 package tensor
 
-import "runtime"
+import (
+	"runtime"
+	"sync"
+)
 
 // extraLanes is a process-wide pool of "extra" parallelism tokens shared
 // by every goroutine-spawning kernel in this package and by external
@@ -66,4 +69,41 @@ func ReleaseLanes(n int) {
 	for i := 0; i < n; i++ {
 		extraLanes <- struct{}{}
 	}
+}
+
+// parallelChunks runs kernel over the task range [0, m) split across the
+// caller plus as many extra lanes as the shared pool will give it (at
+// most m−1). Each task — a GEMM grid cell in the blocked kernel's case —
+// is processed entirely by one goroutine with a fixed inner loop order,
+// so the result is bit-identical no matter how many lanes were available;
+// chunking only changes wall-clock time.
+func parallelChunks(m int, kernel func(i0, i1 int)) {
+	extra := TryAcquireLanes(m - 1)
+	if extra == 0 {
+		kernel(0, m)
+		return
+	}
+	parts := extra + 1
+	chunk := (m + parts - 1) / parts
+	var wg sync.WaitGroup
+	for w := 1; w < parts; w++ {
+		i0 := w * chunk
+		i1 := i0 + chunk
+		if i1 > m {
+			i1 = m
+		}
+		if i0 >= i1 {
+			break
+		}
+		wg.Add(1)
+		go func(i0, i1 int) {
+			defer wg.Done()
+			kernel(i0, i1)
+		}(i0, i1)
+	}
+	if chunk > 0 {
+		kernel(0, min(chunk, m))
+	}
+	wg.Wait()
+	ReleaseLanes(extra)
 }

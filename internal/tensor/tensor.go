@@ -23,7 +23,11 @@ func New(shape ...int) *Tensor {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
-			panic(fmt.Sprintf("tensor: negative dimension %d in shape %v", d, shape))
+			// Keep shape out of the message: passing it to Sprintf would
+			// make it escape, forcing every variadic call site (including
+			// the EnsureShape hot path) to heap-allocate its argument
+			// slice.
+			panic(fmt.Sprintf("tensor: negative dimension %d", d))
 		}
 		n *= d
 	}
@@ -46,6 +50,27 @@ func From(data []float64, shape ...int) *Tensor {
 	s := make([]int, len(shape))
 	copy(s, shape)
 	return &Tensor{shape: s, data: data}
+}
+
+// EnsureShape returns t when it already has exactly the wanted shape and
+// a fresh zeroed tensor otherwise — the workspace (re)allocation policy
+// shared by the layer, loss and aggregation scratch across the codebase.
+// Contents of a reused tensor are preserved; callers that need zeroed
+// scratch must Zero it themselves when t comes back unchanged.
+func EnsureShape(t *Tensor, shape ...int) *Tensor {
+	if t != nil && len(t.shape) == len(shape) {
+		same := true
+		for i, d := range shape {
+			if t.shape[i] != d {
+				same = false
+				break
+			}
+		}
+		if same {
+			return t
+		}
+	}
+	return New(shape...)
 }
 
 // Randn fills a new tensor of the given shape with samples from a normal
