@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build test vet check race race-tensor bench bench-parallel bench-gemm
+.PHONY: build test vet lint fmt-check check race race-tensor bench bench-parallel bench-gemm
 
 build:
 	$(GO) build ./...
@@ -15,7 +15,17 @@ test: build
 vet:
 	$(GO) vet ./...
 
-check: build vet test race-tensor
+# fedlint enforces the determinism and allocation-free invariants
+# (see DESIGN.md "Determinism & hot-path invariants"); non-zero exit on
+# any unsuppressed finding.
+lint:
+	$(GO) run ./cmd/fedlint ./...
+
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+check: build vet lint test race-tensor
 
 race:
 	$(GO) test -race ./internal/fl/... ./internal/tensor/...

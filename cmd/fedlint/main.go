@@ -1,0 +1,166 @@
+// Command fedlint runs the project's static-analysis suite (internal/lint)
+// over the module: four passes that keep the determinism and
+// allocation-free invariants from regressing silently.
+//
+//	fedlint              # lint ./...
+//	fedlint ./internal/fl ./internal/tensor
+//	fedlint -checks floateq,nondet
+//	fedlint -list        # describe the passes and where they apply
+//
+// The nondet pass runs only over the determinism-critical packages
+// (internal/fl, internal/sched, internal/sim, internal/tensor,
+// internal/nn); hotalloc, floateq and syncmisuse run everywhere.
+// fedlint exits 1 when any diagnostic is reported and 2 on usage or
+// load errors, so `make lint` (and CI) fail on findings.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"fedsched/internal/lint"
+)
+
+// nondetPackages are the module-relative packages whose results must be
+// bit-identical across runs, workers and lanes — the scope of the nondet
+// pass. Everything the FL engines touch numerically is here; the
+// experiment drivers deliberately are not (they time wall clocks for
+// their report tables).
+var nondetPackages = map[string]bool{
+	"internal/fl":     true,
+	"internal/sched":  true,
+	"internal/sim":    true,
+	"internal/tensor": true,
+	"internal/nn":     true,
+}
+
+func main() {
+	checks := flag.String("checks", "", "comma-separated subset of checks to run (default: all)")
+	list := flag.Bool("list", false, "list the available checks and exit")
+	includeTests := flag.Bool("tests", true, "also analyze in-package _test.go files")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: fedlint [flags] [package-dir ...]   (default ./...)\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			scope := "all packages"
+			if a.Name == "nondet" {
+				scope = "determinism-critical packages only"
+			}
+			fmt.Printf("%-12s %s [%s]\n", a.Name, a.Doc, scope)
+		}
+		return
+	}
+
+	analyzers := lint.All()
+	if *checks != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*checks, ",") {
+			a := lint.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fatalf("unknown check %q (have: nondet, hotalloc, floateq, syncmisuse)", name)
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatalf("%v", err)
+	}
+	modPath, modDir, err := lint.ModuleRoot(cwd)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	paths, err := targetPaths(flag.Args(), modPath, modDir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	loader := lint.NewLoader(modPath, modDir)
+	loader.IncludeTests = *includeTests
+	findings := 0
+	for _, path := range paths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		for _, a := range analyzers {
+			if a.Name == "nondet" && !nondetPackages[relPath(path, modPath)] {
+				continue
+			}
+			for _, d := range a.Run(pkg) {
+				fmt.Println(relDiag(d.String(), modDir))
+				findings++
+			}
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "fedlint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// targetPaths expands the command-line arguments ("./...", package
+// directories) into module import paths.
+func targetPaths(args []string, modPath, modDir string) ([]string, error) {
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	var paths []string
+	for _, arg := range args {
+		if arg == "./..." || arg == "..." {
+			all, err := lint.PackageDirs(modPath, modDir)
+			if err != nil {
+				return nil, err
+			}
+			paths = append(paths, all...)
+			continue
+		}
+		abs, err := filepath.Abs(strings.TrimSuffix(arg, "/..."))
+		if err != nil {
+			return nil, err
+		}
+		rel, err := filepath.Rel(modDir, abs)
+		if err != nil || strings.HasPrefix(rel, "..") {
+			return nil, fmt.Errorf("fedlint: %s is outside module %s", arg, modPath)
+		}
+		if strings.HasSuffix(arg, "/...") {
+			sub, err := lint.PackageDirs(modPath+"/"+filepath.ToSlash(rel), abs)
+			if err != nil {
+				return nil, err
+			}
+			paths = append(paths, sub...)
+			continue
+		}
+		if rel == "." {
+			paths = append(paths, modPath)
+		} else {
+			paths = append(paths, modPath+"/"+filepath.ToSlash(rel))
+		}
+	}
+	return paths, nil
+}
+
+// relPath strips the module prefix for the nondet scope lookup.
+func relPath(path, modPath string) string {
+	return strings.TrimPrefix(strings.TrimPrefix(path, modPath), "/")
+}
+
+// relDiag shortens absolute file names in a diagnostic to module-relative
+// ones for readable, stable output.
+func relDiag(s, modDir string) string {
+	return strings.TrimPrefix(s, modDir+string(filepath.Separator))
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "fedlint: "+format+"\n", args...)
+	os.Exit(2)
+}

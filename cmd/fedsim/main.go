@@ -13,9 +13,9 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("exp", "", "experiment id (fig1..fig7, tab2..tab5) or 'all'")
-		quick = flag.Bool("quick", false, "reduced workloads for a fast pass")
-		seed  = flag.Int64("seed", 1, "random seed")
+		exp     = flag.String("exp", "", "experiment id (fig1..fig7, tab2..tab5) or 'all'")
+		quick   = flag.Bool("quick", false, "reduced workloads for a fast pass")
+		seed    = flag.Int64("seed", 1, "random seed")
 		list    = flag.Bool("list", false, "list experiment ids")
 		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		workers = flag.Int("workers", 0, "concurrent client training per round (0 = GOMAXPROCS, <0 = sequential); results are seed-identical for any value")

@@ -65,7 +65,7 @@ func ImbalanceRatio(sizes []int) float64 {
 		fs[i] = float64(s)
 	}
 	m := regress.Mean(fs)
-	if m == 0 {
+	if m == 0 { //fedlint:allow floateq — mean of non-negative integer sizes is exactly 0 only when every size is 0
 		return 0
 	}
 	return regress.StdDev(fs) / m

@@ -80,7 +80,7 @@ func Fig2(o Options) (*Report, error) {
 		for _, ratio := range ratios {
 			rng := rand.New(rand.NewSource(o.Seed + int64(ratio*1000)))
 			var part data.Partition
-			if ratio == 0 {
+			if ratio == 0 { //fedlint:allow floateq — ratio walks a literal grid; exact 0 selects the IID-equal branch
 				part = data.IIDEqual(train, users, rng)
 			} else {
 				sizes := data.GaussianSizes(rng, users, train.Len(), ratio)

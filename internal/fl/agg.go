@@ -5,6 +5,8 @@ import "fedsched/internal/tensor"
 // accumulateWeighted adds weight·w[i] into sum[i] for every tensor — the
 // FedAvg weighted-sum inner loop shared by the synchronous, asynchronous
 // and gossip engines. sum and w must have matching lengths and shapes.
+//
+// fedlint:hotpath
 func accumulateWeighted(sum, w []*tensor.Tensor, weight float64) {
 	for i, t := range w {
 		sum[i].AddScaled(weight, t)
@@ -12,6 +14,8 @@ func accumulateWeighted(sum, w []*tensor.Tensor, weight float64) {
 }
 
 // scaleWeights multiplies every tensor in ws by a.
+//
+// fedlint:hotpath
 func scaleWeights(ws []*tensor.Tensor, a float64) {
 	for _, t := range ws {
 		t.Scale(a)
@@ -23,6 +27,8 @@ func scaleWeights(ws []*tensor.Tensor, a float64) {
 // analogue of tensor.EnsureShape. dst may be nil or alias tensors in ws'
 // history; reused tensors are explicitly zeroed since EnsureShape
 // preserves contents.
+//
+// fedlint:hotpath
 func ensureWeightsLike(dst, ws []*tensor.Tensor) []*tensor.Tensor {
 	if len(dst) != len(ws) {
 		dst = make([]*tensor.Tensor, len(ws))

@@ -296,6 +296,8 @@ func clientIndex(clients []*Client, id int) int {
 }
 
 // trainRound runs one local epoch on the client and returns its stats.
+//
+// fedlint:hotpath
 func (c *Client) trainRound(cfg Config, globalW []*tensor.Tensor, modelBytes int) ClientRound {
 	c.net.SetWeights(globalW)
 	c.opt.Reset()

@@ -72,7 +72,7 @@ func Solve(cost [][]float64) (float64, []int, error) {
 func dedup(sorted []float64) []float64 {
 	out := sorted[:0]
 	for i, v := range sorted {
-		if i == 0 || v != sorted[i-1] {
+		if i == 0 || v != sorted[i-1] { //fedlint:allow floateq — dedup removes exact duplicates from a sorted cost slice by design
 			out = append(out, v)
 		}
 	}

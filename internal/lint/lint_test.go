@@ -1,0 +1,234 @@
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// fixturePasses maps each fixture package under testdata/src to the
+// analyzer it exercises.
+var fixturePasses = map[string]*Analyzer{
+	"nondet":     NonDet,
+	"hotalloc":   HotAlloc,
+	"floateq":    FloatEq,
+	"syncmisuse": SyncMisuse,
+}
+
+// fixtureLoader builds a loader whose Aux table maps every directory
+// under testdata/src to its bare name, so fixtures import each other
+// (and the tensor stub) with single-segment paths.
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	base, err := filepath.Abs(filepath.Join("testdata", "src"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader("", base)
+	l.IncludeTests = true
+	l.Aux = make(map[string]string)
+	for _, e := range entries {
+		if e.IsDir() {
+			l.Aux[e.Name()] = filepath.Join(base, e.Name())
+		}
+	}
+	return l
+}
+
+// wantRe matches an expectation comment; each backtick-quoted argument
+// is a regexp the diagnostic message on that line must satisfy.
+var (
+	wantRe    = regexp.MustCompile("//\\s*want\\s+(.+)$")
+	wantArgRe = regexp.MustCompile("`([^`]+)`")
+)
+
+type wantKey struct {
+	file string // base name
+	line int
+}
+
+// parseWants reads the // want annotations out of every fixture file in
+// dir, keyed by file:line.
+func parseWants(t *testing.T, dir string) map[wantKey][]*regexp.Regexp {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := make(map[wantKey][]*regexp.Regexp)
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+			if len(args) == 0 {
+				t.Fatalf("%s:%d: want comment with no backtick-quoted pattern", e.Name(), i+1)
+			}
+			key := wantKey{file: e.Name(), line: i + 1}
+			for _, a := range args {
+				re, err := regexp.Compile(a[1])
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, a[1], err)
+				}
+				wants[key] = append(wants[key], re)
+			}
+		}
+	}
+	if len(wants) == 0 {
+		t.Fatalf("no // want annotations found in %s", dir)
+	}
+	return wants
+}
+
+// TestFixtures runs each analyzer over its seeded fixture package and
+// checks the diagnostics against the // want annotations exactly: every
+// want must be matched by a diagnostic on its line, and every diagnostic
+// must be claimed by a want.
+func TestFixtures(t *testing.T) {
+	l := fixtureLoader(t)
+	names := make([]string, 0, len(fixturePasses))
+	for name := range fixturePasses {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := fixturePasses[name]
+		t.Run(name, func(t *testing.T) {
+			pkg, err := l.Load(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := a.Run(pkg)
+			wants := parseWants(t, l.Aux[name])
+			matched := make(map[string]bool)
+			for _, d := range got {
+				key := wantKey{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}
+				ok := false
+				for i, re := range wants[key] {
+					if re.MatchString(d.Message) {
+						matched[fmt.Sprintf("%s:%d:%d", key.file, key.line, i)] = true
+						ok = true
+						break
+					}
+				}
+				if !ok {
+					t.Errorf("unexpected diagnostic at %s:%d: %s", key.file, key.line, d.Message)
+				}
+			}
+			for key, res := range wants {
+				for i, re := range res {
+					if !matched[fmt.Sprintf("%s:%d:%d", key.file, key.line, i)] {
+						t.Errorf("missing diagnostic at %s:%d matching %q", key.file, key.line, re)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSuppressionIsPerCheck verifies an //fedlint:allow directive only
+// silences the checks it names: the floateq fixture's allow lines do
+// not hide nondet findings and vice versa.
+func TestSuppressionIsPerCheck(t *testing.T) {
+	l := fixtureLoader(t)
+	pkg, err := l.Load("floateq")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// zero() carries "//fedlint:allow floateq" on its comparison line.
+	pos := findAllowLine(t, l.Aux["floateq"], "floateq.go", "fedlint:allow floateq")
+	if !pkg.suppressed("floateq", pos) {
+		t.Errorf("floateq not suppressed at %s:%d, want suppressed", pos.Filename, pos.Line)
+	}
+	if pkg.suppressed("nondet", pos) {
+		t.Errorf("nondet suppressed at %s:%d by a floateq-only allow", pos.Filename, pos.Line)
+	}
+}
+
+// findAllowLine returns the position of the first line of the fixture
+// file containing the given directive text.
+func findAllowLine(t *testing.T, dir, file, directive string) token.Position {
+	t.Helper()
+	path := filepath.Join(dir, file)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, line := range strings.Split(string(data), "\n") {
+		if strings.Contains(line, directive) {
+			return token.Position{Filename: path, Line: i + 1}
+		}
+	}
+	t.Fatalf("no %q directive in %s", directive, path)
+	return token.Position{}
+}
+
+// TestPackageDirs checks the ./... expansion finds real packages and
+// skips testdata trees (the seeded fixtures must never reach the gate).
+func TestPackageDirs(t *testing.T) {
+	modPath, modDir, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	dirs, err := PackageDirs(modPath, modDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, d := range dirs {
+		if strings.Contains(d, "testdata") {
+			t.Errorf("PackageDirs returned a testdata package: %s", d)
+		}
+		if d == modPath+"/internal/lint" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("PackageDirs did not return %s/internal/lint; got %d packages", modPath, len(dirs))
+	}
+}
+
+// TestRepoTreeClean locks the acceptance criterion in place: all four
+// passes report nothing on the repo's determinism-critical packages
+// (the same set the fedlint driver applies nondet to). The full-module
+// sweep runs in `make lint`; this guards the core from inside go test.
+func TestRepoTreeClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks a large part of the module from source")
+	}
+	modPath, modDir, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(modPath, modDir)
+	l.IncludeTests = true
+	for _, rel := range []string{"internal/tensor", "internal/nn", "internal/fl", "internal/sched", "internal/sim"} {
+		pkg, err := l.Load(modPath + "/" + rel)
+		if err != nil {
+			t.Fatalf("loading %s: %v", rel, err)
+		}
+		for _, a := range All() {
+			for _, d := range a.Run(pkg) {
+				t.Errorf("%s: %s", rel, d)
+			}
+		}
+	}
+}

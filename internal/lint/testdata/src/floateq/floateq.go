@@ -1,0 +1,33 @@
+// Package floateq seeds exact floating-point comparisons next to the
+// legal forms: integer comparison, tolerance comparison, the
+// //fedlint:allow sentinel escape hatch, and _test.go files (see
+// floateq_test.go), which are out of scope.
+package floateq
+
+import "math"
+
+func eq(a, b float64) bool {
+	return a == b // want `== compares floating-point values exactly`
+}
+
+func neq(a, b float32) bool {
+	return a != b // want `!= compares floating-point values exactly`
+}
+
+func mixedConst(x float64) bool {
+	return x == 1.5 // want `== compares floating-point values exactly`
+}
+
+func ints(a, b int) bool {
+	return a == b
+}
+
+// zero carries the audited-sentinel escape hatch.
+func zero(x float64) bool {
+	return x == 0 //fedlint:allow floateq — fixture: audited exact-zero sentinel
+}
+
+// tolerance is the recommended comparison form.
+func tolerance(a, b float64) bool {
+	return math.Abs(a-b) <= 1e-9
+}

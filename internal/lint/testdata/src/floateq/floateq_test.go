@@ -1,0 +1,7 @@
+package floateq
+
+// Exact comparison inside _test.go files is deliberately out of scope:
+// tests assert bit-exactness (determinism suites compare runs with ==).
+func exactInTest(a, b float64) bool {
+	return a == b
+}

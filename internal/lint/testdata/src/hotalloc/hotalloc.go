@@ -1,0 +1,61 @@
+// Package hotalloc seeds the three allocation shapes the hotalloc pass
+// reports inside annotated hot paths — tensor.New*, make of float
+// slices, append — plus the transitive-callee propagation, the
+// //fedlint:allow escape hatch, and the shapes (int scratch, cold
+// functions, EnsureShape) that must stay legal.
+package hotalloc
+
+import "tensor"
+
+// Hot is an annotated hot-path root.
+//
+// fedlint:hotpath
+func Hot(dst *tensor.Tensor, xs []float64) []float64 {
+	buf := make([]float64, 8) // want `make of \[\]float64 in hot-path function Hot allocates`
+	t := tensor.New(4, 4)     // want `tensor\.New in hot-path function Hot allocates fresh tensor storage`
+	_ = t
+	xs = append(xs, 1) // want `append in hot-path function Hot may grow its backing array`
+	helper(xs)
+	dst = tensor.EnsureShape(dst, 4, 4)
+	_ = dst
+	return buf
+}
+
+// helper carries no annotation; it inherits hotness from Hot through
+// the intra-package call graph.
+func helper(xs []float64) []float64 {
+	return append(xs, 2) // want `append in hot-path function helper \(hot via Hot\) may grow`
+}
+
+// Cold is never reached from an annotated root and may allocate freely.
+func Cold() []float64 {
+	return make([]float64, 128)
+}
+
+// Allowed shows the sanctioned-slow-path escape hatch; the directive
+// form of the marker must work too.
+//
+//fedlint:hotpath
+func Allowed() *tensor.Tensor {
+	return tensor.New(2, 2) //fedlint:allow hotalloc — fixture: geometry-change slow path
+}
+
+// AllowedCall's suppressed call site keeps resize out of the hot set
+// entirely, so resize's own allocation stays unreported.
+//
+// fedlint:hotpath
+func AllowedCall() []float64 {
+	return resize() //fedlint:allow hotalloc — fixture: cold by contract
+}
+
+func resize() []float64 {
+	return make([]float64, 64)
+}
+
+// IntScratch allocates integer scratch; only float slices are tensor
+// storage, so it passes.
+//
+// fedlint:hotpath
+func IntScratch() []int {
+	return make([]int, 4)
+}

@@ -1,0 +1,19 @@
+package nondet
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkClock may read the wall clock: benchmarks are the one place
+// measuring real time is the point.
+func BenchmarkClock(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_ = time.Now()
+	}
+}
+
+// TestClock is not a benchmark; the carve-out does not apply.
+func TestClock(t *testing.T) {
+	_ = time.Now() // want `time\.Now in a determinism-critical package`
+}

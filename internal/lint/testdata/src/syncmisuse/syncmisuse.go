@@ -1,0 +1,102 @@
+// Package syncmisuse seeds the two synchronization mistakes the pass
+// flags — wg.Add inside the spawned goroutine and by-value copies of
+// lock-holding structs — next to the correct shapes (Add before go,
+// goroutine-local WaitGroups, pointer receivers, in-place construction).
+package syncmisuse
+
+import "sync"
+
+// addInside races: the spawner's Wait can run before the goroutine is
+// scheduled and ever reaches Add.
+func addInside() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		go func() {
+			wg.Add(1) // want `wg\.Add inside the spawned goroutine races the spawner's Wait`
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// addBefore accounts on the spawning side — the correct shape.
+func addBefore() {
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// innerPool declares its own WaitGroup inside the goroutine; a fresh,
+// correctly scoped pool cannot race the outer spawner.
+func innerPool() {
+	var outer sync.WaitGroup
+	outer.Add(1)
+	go func() {
+		defer outer.Done()
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+		}()
+		inner.Wait()
+	}()
+	outer.Wait()
+}
+
+// guarded holds a lock directly; nested holds one transitively.
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type nested struct {
+	g guarded
+}
+
+func (g guarded) byValue() int { // want `receiver guarded is passed by value but contains sync\.Mutex`
+	return g.n
+}
+
+func (g *guarded) byPointer() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+func takesCopy(n nested) int { // want `parameter nested is passed by value but contains sync\.Mutex`
+	return n.g.n
+}
+
+func returnsCopy() guarded { // want `result guarded is passed by value but contains sync\.Mutex`
+	return guarded{}
+}
+
+func deref(p *guarded) {
+	c := *p // want `assignment copies \*p by value but it contains sync\.Mutex`
+	_ = c
+}
+
+func rangeCopy(gs []guarded) int {
+	total := 0
+	for _, g := range gs { // want `range value g copies an element that contains sync\.Mutex`
+		total += g.n
+	}
+	return total
+}
+
+// construct builds in place — composite literals are not copies.
+func construct() *guarded {
+	g := guarded{n: 1}
+	return &g
+}
+
+// allowedCopy is an audited copy taken before any goroutine starts.
+func allowedCopy(p *guarded) {
+	c := *p //fedlint:allow syncmisuse — fixture: copy taken before any goroutine can hold the lock
+	_ = c
+}

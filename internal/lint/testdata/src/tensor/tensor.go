@@ -1,0 +1,36 @@
+// Package tensor is a minimal stub of fedsched/internal/tensor, mapped
+// to the bare import path "tensor" through Loader.Aux so the hotalloc
+// fixtures can exercise the New*-constructor detection without pulling
+// the real package (and its real hot paths) into the fixture load.
+package tensor
+
+// Tensor mirrors the real dense-tensor shape.
+type Tensor struct {
+	data []float64
+}
+
+// New allocates fresh storage — the call hotalloc reports.
+func New(shape ...int) *Tensor {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &Tensor{data: make([]float64, n)}
+}
+
+// From wraps existing storage.
+func From(data []float64, shape ...int) *Tensor {
+	return &Tensor{data: data}
+}
+
+// EnsureShape is the sanctioned workspace-reuse entry point; it is not a
+// New* constructor and must not be flagged at call sites.
+func EnsureShape(t *Tensor, shape ...int) *Tensor {
+	if t != nil {
+		return t
+	}
+	return New(shape...)
+}
+
+// Len keeps the struct fields used.
+func (t *Tensor) Len() int { return len(t.data) }

@@ -94,7 +94,7 @@ func (c *Confusion) Precision(class int) float64 {
 // F1 returns the per-class harmonic mean of precision and recall.
 func (c *Confusion) F1(class int) float64 {
 	p, r := c.Precision(class), c.Recall(class)
-	if p+r == 0 {
+	if p+r == 0 { //fedlint:allow floateq — precision/recall are ratios of integer counts; both are exactly 0 iff the counts are
 		return 0
 	}
 	return 2 * p * r / (p + r)

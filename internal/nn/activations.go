@@ -47,6 +47,8 @@ func (r *ReLU) ensureMask(n int) []bool {
 }
 
 // Forward implements Layer.
+//
+// fedlint:hotpath
 func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	r.y = tensor.EnsureShape(r.y, x.Shape()...)
 	mask := r.ensureMask(x.Len())
@@ -64,6 +66,8 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+// fedlint:hotpath
 func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	r.dx = tensor.EnsureShape(r.dx, grad.Shape()...)
 	gd, dd := grad.Data(), r.dx.Data()
@@ -99,6 +103,8 @@ func (f *Flatten) Name() string { return "Flatten" }
 func (f *Flatten) Params() []*Param { return nil }
 
 // Forward implements Layer.
+//
+// fedlint:hotpath
 func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	f.inShape = x.Shape()
 	n := x.Dim(0)
@@ -110,6 +116,8 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+// fedlint:hotpath
 func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if f.back == nil || !sameStorage(f.back, grad) || !shapeEq(f.back.Shape(), f.inShape) {
 		f.back = grad.Reshape(f.inShape...)
@@ -150,6 +158,8 @@ func (p *MaxPool2D) Name() string { return fmt.Sprintf("MaxPool2D(%d,s=%d)", p.S
 func (p *MaxPool2D) Params() []*Param { return nil }
 
 // Forward implements Layer.
+//
+// fedlint:hotpath
 func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := (h-p.Size)/p.Stride + 1
@@ -188,6 +198,8 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+// fedlint:hotpath
 func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	p.dx = tensor.EnsureShape(p.dx, p.inShape...)
 	p.dx.Zero() // scatter-add below touches only argmax positions
@@ -221,6 +233,8 @@ func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.P) }
 func (d *Dropout) Params() []*Param { return nil }
 
 // Forward implements Layer.
+//
+// fedlint:hotpath
 func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if !train || d.P <= 0 {
 		d.keep = nil
@@ -246,6 +260,8 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 }
 
 // Backward implements Layer.
+//
+// fedlint:hotpath
 func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	if d.keep == nil {
 		return grad

@@ -89,12 +89,16 @@ func (c *Conv2D) OutSize(h, w int) (int, int) {
 }
 
 // Forward implements Layer. x must be (N, InC, H, W).
+//
+// fedlint:hotpath
 func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return c.forward(x, nil)
 }
 
 // forwardFusedReLU implements reluFused: the activation clamp and its
 // backward mask ride along with the NHWC→NCHW permute pass.
+//
+// fedlint:hotpath
 func (c *Conv2D) forwardFusedReLU(x *tensor.Tensor, train bool, r *ReLU) *tensor.Tensor {
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh, ow := c.OutSize(h, w)
@@ -146,6 +150,8 @@ func (c *Conv2D) forward(x *tensor.Tensor, mask []bool) *tensor.Tensor {
 // input gradient lives in a per-layer workspace that is overwritten by the
 // next Backward call; callers consume it within the current pass (which is
 // how Network.Backward drives layers).
+//
+// fedlint:hotpath
 func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	n := grad.Dim(0)
 	oh, ow := c.outH, c.outW

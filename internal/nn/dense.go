@@ -55,6 +55,8 @@ func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
 func (d *Dense) FlopsPerSample() float64 { return 2 * float64(d.In) * float64(d.Out) }
 
 // Forward implements Layer. x must be (N, In).
+//
+// fedlint:hotpath
 func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != d.In {
 		panic(fmt.Sprintf("nn: %s got input %v", d.Name(), x.Shape()))
@@ -68,6 +70,8 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // forwardFusedReLU implements reluFused: it additionally rectifies the
 // output in the kernel epilogue, recording the mask the downstream ReLU
 // layer will use in its Backward.
+//
+// fedlint:hotpath
 func (d *Dense) forwardFusedReLU(x *tensor.Tensor, train bool, r *ReLU) *tensor.Tensor {
 	if x.Rank() != 2 || x.Dim(1) != d.In {
 		panic(fmt.Sprintf("nn: %s got input %v", d.Name(), x.Shape()))
@@ -83,6 +87,8 @@ func (d *Dense) forwardFusedReLU(x *tensor.Tensor, train bool, r *ReLU) *tensor.
 // gradient lives in a per-layer workspace that is overwritten by the next
 // Backward call; callers consume it within the current pass (which is how
 // Network.Backward drives layers).
+//
+// fedlint:hotpath
 func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	// dW = gradᵀ·x, db = Σ grad rows, dx = grad·W.
 	d.dw = tensor.EnsureShape(d.dw, d.Out, d.In)

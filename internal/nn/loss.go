@@ -18,6 +18,8 @@ func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, gra
 // SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the logits
 // gradient into a caller-owned (N, K) tensor — the allocation-free path
 // used by Network.TrainBatch with its persistent loss-gradient workspace.
+//
+// fedlint:hotpath
 func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) (loss float64) {
 	n, k := logits.Dim(0), logits.Dim(1)
 	if len(labels) != n {

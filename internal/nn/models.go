@@ -213,7 +213,12 @@ func (a *Arch) TrainFlopsPerSample() float64 { return 3 * a.FlopsPerSample() }
 func (a *Arch) SizeBytes() int { return a.ParamCount() * BytesPerParam }
 
 // Build materializes the architecture into a trainable Network with weights
-// initialized from rng.
+// initialized from rng. rng is the only entropy source in the whole model
+// lifecycle — He init here (NewDense/NewConv2D) and dropout masks later all
+// draw from generators seeded from fl.Config.Seed, so initialization is
+// reproducible bit-for-bit from the seed. The fedlint nondet pass rejects
+// any call to the global math/rand functions in this package, keeping it
+// that way.
 func (a *Arch) Build(rng *rand.Rand) *Network {
 	var layers []Layer
 	a.walk(func(s stage, c, h, w, flat int) {

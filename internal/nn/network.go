@@ -48,6 +48,8 @@ func NewNetwork(arch string, layers ...Layer) *Network {
 
 // Forward runs all layers and returns the logits. Dense/Conv2D layers
 // directly followed by a ReLU run as one fused kernel (see reluFused).
+//
+// fedlint:hotpath
 func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	for i := 0; i < len(n.Layers); i++ {
 		l := n.Layers[i]
@@ -65,6 +67,8 @@ func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 
 // Backward propagates a logits gradient through all layers, accumulating
 // parameter gradients.
+//
+// fedlint:hotpath
 func (n *Network) Backward(grad *tensor.Tensor) {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		grad = n.Layers[i].Backward(grad)
@@ -73,6 +77,8 @@ func (n *Network) Backward(grad *tensor.Tensor) {
 
 // TrainBatch runs a forward/backward pass on one mini-batch and returns the
 // loss. Parameter gradients are left accumulated for the optimizer.
+//
+// fedlint:hotpath
 func (n *Network) TrainBatch(x *tensor.Tensor, labels []int) float64 {
 	logits := n.Forward(x, true)
 	n.lossGrad = tensor.EnsureShape(n.lossGrad, logits.Dim(0), logits.Dim(1))
@@ -154,7 +160,9 @@ func (n *Network) Clone() *Network {
 	if n.arch == nil {
 		return nil
 	}
-	c := n.arch.Build(rand.New(rand.NewSource(0))) // init overwritten below
+	// The fixed-seed source is fine here: Build's random init is fully
+	// overwritten by the copy below, so no entropy reaches the clone.
+	c := n.arch.Build(rand.New(rand.NewSource(0)))
 	src, dst := n.Params(), c.Params()
 	for i := range src {
 		copy(dst[i].W.Data(), src[i].W.Data())

@@ -146,7 +146,7 @@ func SolveLinear(a [][]float64, b []float64) ([]float64, error) {
 		inv := 1 / a[col][col]
 		for r := col + 1; r < n; r++ {
 			f := a[r][col] * inv
-			if f == 0 {
+			if f == 0 { //fedlint:allow floateq — exact-zero pivot-column skip; any nonzero factor must eliminate
 				continue
 			}
 			for c := col; c < n; c++ {

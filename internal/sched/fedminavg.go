@@ -30,10 +30,17 @@ func (FedMinAvg) Schedule(req *Request, _ *rand.Rand) (*Assignment, error) {
 	}
 	n, s, d := len(req.Users), req.TotalShards, req.ShardSize
 
-	coverage := make(map[int]bool) // U: classes already in the training set
-	opened := make([]bool, n)      // O: users already assigned data
-	shards := make([]int, n)       // l_j
-	assigned := 0                  // D_u
+	// coverage is U, the classes already in the training set. It is a
+	// membership set only — looked up in accCost, written on user opening,
+	// and never iterated, so map ordering cannot leak into the assignment
+	// and shards/totalCost are byte-stable across runs. Any future `range
+	// coverage` with an order-sensitive body will be rejected by the
+	// fedlint nondet pass; collect and sort the keys first if one is ever
+	// needed.
+	coverage := make(map[int]bool)
+	opened := make([]bool, n) // O: users already assigned data
+	shards := make([]int, n)  // l_j
+	assigned := 0             // D_u
 	var totalCost float64
 
 	// accCost returns αF_j for user j given the current coverage and D_u.

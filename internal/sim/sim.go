@@ -21,7 +21,7 @@ type eventHeap []*Event
 
 func (h eventHeap) Len() int { return len(h) }
 func (h eventHeap) Less(i, j int) bool {
-	if h[i].At != h[j].At {
+	if h[i].At != h[j].At { //fedlint:allow floateq — exact-equality tie-break; equal times fall through to the seq ordering
 		return h[i].At < h[j].At
 	}
 	return h[i].seq < h[j].seq

@@ -17,6 +17,8 @@ func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
 // matrix, zeroing it first (padded regions must read as zero). Reusing
 // one cols tensor across batches removes the dominant allocation in the
 // convolution hot path.
+//
+// fedlint:hotpath
 func Im2ColInto(cols, x *Tensor, kh, kw, stride, pad int) {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := (h+2*pad-kh)/stride + 1
@@ -67,6 +69,8 @@ func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
 
 // Col2ImInto is Col2Im scattering into a preallocated (N, C, H, W)
 // tensor, zeroing it first.
+//
+// fedlint:hotpath
 func Col2ImInto(x, cols *Tensor, kh, kw, stride, pad int) {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := (h+2*pad-kh)/stride + 1

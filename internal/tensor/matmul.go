@@ -21,6 +21,8 @@ func MatMul(a, b *Tensor) *Tensor {
 }
 
 // MatMulInto computes dst = A·B, overwriting dst. dst must be m×n.
+//
+// fedlint:hotpath
 func MatMulInto(dst, a, b *Tensor) {
 	gemm(dst, a, b, false, false, epi{})
 }
@@ -38,6 +40,8 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 }
 
 // MatMulTransAInto computes dst = Aᵀ·B, overwriting dst. dst must be m×n.
+//
+// fedlint:hotpath
 func MatMulTransAInto(dst, a, b *Tensor) {
 	gemm(dst, a, b, true, false, epi{})
 }
@@ -52,6 +56,8 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 }
 
 // MatMulTransBInto computes dst = A·Bᵀ, overwriting dst. dst must be m×n.
+//
+// fedlint:hotpath
 func MatMulTransBInto(dst, a, b *Tensor) {
 	gemm(dst, a, b, false, true, epi{})
 }
@@ -60,6 +66,8 @@ func MatMulTransBInto(dst, a, b *Tensor) {
 // broadcast across rows, fused into the kernel epilogue — the forward pass
 // of a dense or im2col-lowered convolution layer in one call, with no
 // separate zeroing or bias loop over dst.
+//
+// fedlint:hotpath
 func MatMulTransBBiasInto(dst, a, b, bias *Tensor) {
 	gemm(dst, a, b, false, true, epi{bias: bias.data})
 }
@@ -67,6 +75,8 @@ func MatMulTransBBiasInto(dst, a, b, bias *Tensor) {
 // MatMulTransBBiasReLUInto computes dst = max(0, A·Bᵀ + bias), recording
 // mask[i*n+j] = (pre-clamp value > 0) when mask is non-nil — the fused
 // dense+bias+ReLU forward. mask must have at least m·n entries.
+//
+// fedlint:hotpath
 func MatMulTransBBiasReLUInto(dst, a, b, bias *Tensor, mask []bool) {
 	gemm(dst, a, b, false, true, epi{bias: bias.data, relu: true, mask: mask})
 }
@@ -87,7 +97,7 @@ func naiveMatMulInto(dst, a, b *Tensor) {
 		ci := cd[i*n : (i+1)*n]
 		for l := 0; l < k; l++ {
 			av := ad[i*k+l]
-			if av == 0 {
+			if av == 0 { //fedlint:allow floateq — exact-zero sparsity sentinel: skipping a true 0 never changes the sum
 				continue
 			}
 			bi := bd[l*n : (l+1)*n]
@@ -114,7 +124,7 @@ func naiveMatMulTransAInto(dst, a, b *Tensor) {
 		arow := ad[l*m : (l+1)*m]
 		brow := bd[l*n : (l+1)*n]
 		for i, av := range arow {
-			if av == 0 {
+			if av == 0 { //fedlint:allow floateq — exact-zero sparsity sentinel: skipping a true 0 never changes the sum
 				continue
 			}
 			ci := cd[i*n : (i+1)*n]

@@ -57,6 +57,8 @@ func From(data []float64, shape ...int) *Tensor {
 // shared by the layer, loss and aggregation scratch across the codebase.
 // Contents of a reused tensor are preserved; callers that need zeroed
 // scratch must Zero it themselves when t comes back unchanged.
+//
+// fedlint:hotpath
 func EnsureShape(t *Tensor, shape ...int) *Tensor {
 	if t != nil && len(t.shape) == len(shape) {
 		same := true
@@ -70,7 +72,7 @@ func EnsureShape(t *Tensor, shape ...int) *Tensor {
 			return t
 		}
 	}
-	return New(shape...)
+	return New(shape...) //fedlint:allow hotalloc — reallocates only when the batch geometry changes, never in steady state
 }
 
 // Randn fills a new tensor of the given shape with samples from a normal
@@ -146,6 +148,8 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 }
 
 // Zero sets all elements to zero.
+//
+// fedlint:hotpath
 func (t *Tensor) Zero() {
 	for i := range t.data {
 		t.data[i] = 0
@@ -160,6 +164,8 @@ func (t *Tensor) Fill(v float64) {
 }
 
 // Scale multiplies every element by a.
+//
+// fedlint:hotpath
 func (t *Tensor) Scale(a float64) {
 	for i := range t.data {
 		t.data[i] *= a
@@ -167,6 +173,8 @@ func (t *Tensor) Scale(a float64) {
 }
 
 // AddScaled adds a*src to t elementwise. The tensors must have equal length.
+//
+// fedlint:hotpath
 func (t *Tensor) AddScaled(a float64, src *Tensor) {
 	if len(src.data) != len(t.data) {
 		panic("tensor: AddScaled length mismatch")
