@@ -1,10 +1,18 @@
-# Tier-1 gate plus the parallel-engine checks. `make check` is what CI
-# should run; `race` exercises the worker pools and tensor lane semaphore
-# under the race detector (slow: the fl suite retrains real models).
+# Tier-1 gate plus the parallel-engine checks. `make fmt-check check` is
+# what CI's `check` job runs; `race` exercises the worker pools and
+# tensor lane semaphore under the race detector (slow: the fl suite
+# retrains real models).
 
 GO ?= go
 
-.PHONY: build test vet lint fmt-check check race race-tensor bench bench-parallel bench-gemm
+# Bench-regression gate headroom: fail when the geomean current/baseline
+# ns/op ratio exceeds this. Machine-sensitive by construction — the
+# BENCH_*.json baselines are absolute numbers from one box — so widen it
+# (or re-record the baselines, see README) when moving to new hardware.
+BENCH_MAX_SLOWDOWN ?= 1.15
+
+.PHONY: build test vet lint fmt-check check race race-tensor trace-golden \
+	bench bench-parallel bench-gemm bench-ci bench-regression
 
 build:
 	$(GO) build ./...
@@ -25,6 +33,10 @@ fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
+# Deliberately omits the full `race` target (only the ~10s race-tensor
+# pass): the fl race suite retrains real models for minutes, far too
+# slow to gate every local pre-push run. CI covers the gap — its `race`
+# job runs `make race` on every push in parallel with this gate.
 check: build vet lint test race-tensor
 
 race:
@@ -34,6 +46,12 @@ race:
 # enough (~10s) to gate every `make check`.
 race-tensor:
 	$(GO) test -race ./internal/tensor/...
+
+# Regenerate the golden round traces under testdata/trace after an
+# intentional behaviour change, then review the diff before committing
+# (see README "Round traces & goldens").
+trace-golden:
+	$(GO) test -run 'TestGoldenTrace' . -args -update-golden
 
 bench:
 	$(GO) test -run '^$$' -bench . -benchtime=1x -benchmem .
@@ -45,3 +63,17 @@ bench-parallel:
 # The naive-vs-blocked kernel pairs and layer triples behind BENCH_gemm.json.
 bench-gemm:
 	$(GO) test -run '^$$' -bench 'BenchmarkGEMM' -benchtime=2s ./internal/tensor/ .
+
+# CI bench smoke: 5 repetitions of the gated benchmarks; the raw output
+# feeds bench-regression and is uploaded as a CI artifact.
+bench-ci:
+	$(GO) test -run '^$$' -bench 'GEMM_(LeNet|VGG6)$$|Run(Serial|Parallel)$$' \
+		-benchtime=3x -count=5 . | tee bench-results.txt
+
+# Compare the bench-ci output against the recorded baselines; benchdiff
+# takes the min ns/op over the 5 reps and fails on a >15% geomean
+# slowdown (override with BENCH_MAX_SLOWDOWN=1.30 etc.).
+bench-regression:
+	$(GO) run ./cmd/benchdiff -bench bench-results.txt \
+		-baseline BENCH_gemm.json -baseline BENCH_fl_parallel.json \
+		-max-slowdown $(BENCH_MAX_SLOWDOWN)

@@ -1,6 +1,12 @@
 // Command fedsim regenerates the paper's tables and figures from the
 // simulation substrate. Run `fedsim -list` to see experiment ids, `fedsim
 // -exp fig5` for one experiment, or `fedsim -exp all` for everything.
+//
+// The round trace of a run (schedule assignments, solver probes,
+// per-client compute/comm/energy/throttle events, round summaries) can be
+// captured with `-trace out.jsonl` / `-trace-csv out.csv` and summarized
+// with `-trace-summary`; at a fixed seed the trace is byte-identical for
+// any `-workers` value.
 package main
 
 import (
@@ -9,16 +15,21 @@ import (
 	"os"
 
 	"fedsched/internal/experiments"
+	"fedsched/internal/trace"
 )
 
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (fig1..fig7, tab2..tab5) or 'all'")
-		quick   = flag.Bool("quick", false, "reduced workloads for a fast pass")
-		seed    = flag.Int64("seed", 1, "random seed")
-		list    = flag.Bool("list", false, "list experiment ids")
-		csv     = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		workers = flag.Int("workers", 0, "concurrent client training per round (0 = GOMAXPROCS, <0 = sequential); results are seed-identical for any value")
+		exp      = flag.String("exp", "", "experiment id (fig1..fig7, tab2..tab5) or 'all'")
+		quick    = flag.Bool("quick", false, "reduced workloads for a fast pass")
+		seed     = flag.Int64("seed", 1, "random seed")
+		list     = flag.Bool("list", false, "list experiment ids")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers  = flag.Int("workers", 0, "concurrent client training per round (0 = GOMAXPROCS, <0 = sequential); results are seed-identical for any value")
+		traceOut = flag.String("trace", "", "write the run's round trace to this JSONL file")
+		traceCSV = flag.String("trace-csv", "", "write the run's round trace to this CSV file")
+		traceSum = flag.Bool("trace-summary", false, "print a per-round trace summary table to stderr")
+		traceCap = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default 65536; oldest events are dropped beyond it)")
 	)
 	flag.Parse()
 	if *list || *exp == "" {
@@ -32,6 +43,9 @@ func main() {
 		return
 	}
 	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	if *traceOut != "" || *traceCSV != "" || *traceSum {
+		opts.Trace = trace.New(*traceCap)
+	}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
@@ -55,4 +69,37 @@ func main() {
 			fmt.Println(rep.String())
 		}
 	}
+	if err := writeTrace(opts.Trace, *traceOut, *traceCSV, *traceSum); err != nil {
+		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// writeTrace flushes the collected trace to the requested outputs.
+func writeTrace(rec *trace.Recorder, jsonlPath, csvPath string, summary bool) error {
+	if rec == nil {
+		return nil
+	}
+	events := rec.Events()
+	if d := rec.Dropped(); d > 0 {
+		fmt.Fprintf(os.Stderr, "trace: ring overflowed, %d oldest events dropped (raise -trace-cap)\n", d)
+	}
+	if jsonlPath != "" {
+		if err := trace.WriteFileJSONL(jsonlPath, events); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", len(events), jsonlPath)
+	}
+	if csvPath != "" {
+		if err := trace.WriteFileCSV(csvPath, events); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "trace: %d events written to %s\n", len(events), csvPath)
+	}
+	if summary {
+		if err := trace.WriteSummary(os.Stderr, events); err != nil {
+			return err
+		}
+	}
+	return nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"fedsched"
 	"fedsched/internal/data"
+	"fedsched/internal/trace"
 )
 
 func main() {
@@ -37,8 +38,17 @@ func main() {
 		deadline  = flag.Float64("deadline", 0, "per-round deadline in seconds (0 = wait for all)")
 		workers   = flag.Int("workers", 0, "concurrent client training per round (0 = GOMAXPROCS, <0 = sequential); results are seed-identical for any value")
 		ckpt      = flag.String("checkpoint", "", "write final model weights to this file")
+		traceOut  = flag.String("trace", "", "write the run's round trace to this JSONL file")
+		traceCSV  = flag.String("trace-csv", "", "write the run's round trace to this CSV file")
+		traceSum  = flag.Bool("trace-summary", false, "print a per-round trace summary table to stderr")
+		traceCap  = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default 65536)")
 	)
 	flag.Parse()
+
+	var rec *trace.Recorder
+	if *traceOut != "" || *traceCSV != "" || *traceSum {
+		rec = trace.New(*traceCap)
+	}
 
 	tb := fedsched.NewTestbed(*testbedID)
 	users := len(tb.Profiles)
@@ -61,6 +71,7 @@ func main() {
 	paperArch := fedsched.LeNet(train.C, 28, 28, 10)
 	req, err := tb.Request(paperArch, 60000)
 	check(err)
+	req.Trace = rec
 	rng := rand.New(rand.NewSource(*seed))
 
 	var classSets [][]int
@@ -125,7 +136,7 @@ func main() {
 	hist, err := tb.RunFederated(fedsched.RunConfig{
 		Arch: arch, Rounds: *rounds, LR: *lr, Momentum: *momentum,
 		Seed: *seed, EvalEvery: 1, SecureAgg: *secure, DeadlineSeconds: *deadline,
-		Workers: *workers,
+		Workers: *workers, Trace: rec,
 	}, train, part, test)
 	check(err)
 
@@ -153,6 +164,24 @@ func main() {
 		check(hist.Model.SaveWeights(f))
 		check(f.Close())
 		fmt.Printf("checkpoint written to %s\n", *ckpt)
+	}
+
+	if rec != nil {
+		events := rec.Events()
+		if d := rec.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "trace: ring overflowed, %d oldest events dropped (raise -trace-cap)\n", d)
+		}
+		if *traceOut != "" {
+			check(trace.WriteFileJSONL(*traceOut, events))
+			fmt.Printf("trace: %d events written to %s\n", len(events), *traceOut)
+		}
+		if *traceCSV != "" {
+			check(trace.WriteFileCSV(*traceCSV, events))
+			fmt.Printf("trace: %d events written to %s\n", len(events), *traceCSV)
+		}
+		if *traceSum {
+			check(trace.WriteSummary(os.Stderr, events))
+		}
 	}
 }
 

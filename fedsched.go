@@ -43,6 +43,7 @@ import (
 	"fedsched/internal/profile"
 	"fedsched/internal/sched"
 	"fedsched/internal/secagg"
+	"fedsched/internal/trace"
 )
 
 // Re-exported core types. The aliases make the internal packages' fully
@@ -95,6 +96,11 @@ type (
 	SecureGroup = secagg.Group
 	// AlphaSearchResult is one candidate from TuneAlpha.
 	AlphaSearchResult = sched.AlphaSearchResult
+	// TraceRecorder is a deterministic round-trace event ring; point
+	// RunConfig.Trace / Request.Trace at one to observe a run.
+	TraceRecorder = trace.Recorder
+	// TraceEvent is one round-trace record.
+	TraceEvent = trace.Event
 )
 
 // Gossip topologies.
@@ -125,6 +131,13 @@ var (
 	// RandomClassSets draws random per-user class subsets (Fig 7's
 	// distribution generator).
 	RandomClassSets = sched.RandomClassSets
+	// NewTraceRecorder builds a round-trace ring (capacity ≤ 0 = 65536).
+	NewTraceRecorder = trace.New
+	// WriteTraceJSONL / WriteTraceCSV export a trace deterministically;
+	// CompareTraces checks two traces field-by-field under tolerances.
+	WriteTraceJSONL = trace.WriteJSONL
+	WriteTraceCSV   = trace.WriteCSV
+	CompareTraces   = trace.Compare
 )
 
 // Architecture constructors (paper scale and reduced scale).

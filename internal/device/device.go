@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"fedsched/internal/nn"
+	"fedsched/internal/trace"
 )
 
 // Device is a stateful simulated phone. It tracks simulated time,
@@ -23,6 +24,19 @@ type Device struct {
 	NowSeconds float64
 	// EnergyJ is the total energy consumed so far.
 	EnergyJ float64
+	// Throttles counts governor state transitions so far: soft-throttle
+	// engage/release plus hard trips and recoveries. The per-round delta
+	// is the paper's "how often did DVFS bite" observability signal.
+	Throttles int
+	// Tracer, when non-nil, receives one KindThrottle event per governor
+	// transition. Engines that train clients in parallel point it at a
+	// per-client ring and merge post-join (see internal/trace).
+	Tracer *trace.Recorder
+	// TraceID labels this device's events (the owning client's id).
+	TraceID int
+	// throttled mirrors whether the soft throttle is currently engaged,
+	// to detect transitions.
+	throttled bool
 }
 
 // thermalStep is the integration step for the thermal/governor model.
@@ -44,6 +58,8 @@ func (d *Device) Reset() {
 	d.bigOffline = false
 	d.NowSeconds = 0
 	d.EnergyJ = 0
+	d.Throttles = 0
+	d.throttled = false
 }
 
 // intensityBlend maps a per-sample training FLOP cost to the interpolation
@@ -81,15 +97,33 @@ func (d *Device) currentThroughput(trainFlops float64) float64 {
 }
 
 // advance integrates the governor and thermal model for dt seconds under
-// the given utilization, accumulating energy.
+// the given utilization, accumulating energy. It is the device
+// simulator's innermost loop (one call per thermalStep of simulated
+// time), so the trace emission below must stay allocation-free.
+//
+// fedlint:hotpath
 func (d *Device) advance(dt float64, util float64, loaded bool) {
 	// Governor: exponential approach to target frequency.
 	target := idleFreqFactor
+	throttled := false
 	if loaded {
 		target = 1.0
 		if d.TempC > d.SoftTripC {
 			target = d.ThrottleFactor
+			throttled = true
 		}
+	}
+	if throttled != d.throttled {
+		d.throttled = throttled
+		d.Throttles++
+		flag := trace.ThrottleRelease
+		if throttled {
+			flag = trace.ThrottleEngage
+		}
+		d.Tracer.Emit(trace.Event{
+			Kind: trace.KindThrottle, Round: -1, Client: d.TraceID, Flag: flag,
+			AtS: d.NowSeconds, TempC: d.TempC, FreqGHz: d.effectiveFreqGHz(),
+		})
 	}
 	alpha := 1 - math.Exp(-dt/math.Max(d.RampSeconds, 1e-3))
 	d.FreqFactor += (target - d.FreqFactor) * alpha
@@ -112,8 +146,18 @@ func (d *Device) advance(dt float64, util float64, loaded bool) {
 	if d.HardTripC > 0 {
 		if !d.bigOffline && d.TempC >= d.HardTripC {
 			d.bigOffline = true
+			d.Throttles++
+			d.Tracer.Emit(trace.Event{
+				Kind: trace.KindThrottle, Round: -1, Client: d.TraceID, Flag: trace.ThrottleTrip,
+				AtS: d.NowSeconds, TempC: d.TempC, FreqGHz: d.effectiveFreqGHz(),
+			})
 		} else if d.bigOffline && d.TempC <= d.HardTripC-d.HysteresisC {
 			d.bigOffline = false
+			d.Throttles++
+			d.Tracer.Emit(trace.Event{
+				Kind: trace.KindThrottle, Round: -1, Client: d.TraceID, Flag: trace.ThrottleRecover,
+				AtS: d.NowSeconds, TempC: d.TempC, FreqGHz: d.effectiveFreqGHz(),
+			})
 		}
 	}
 	d.EnergyJ += power * dt
@@ -211,6 +255,7 @@ func (d *Device) Idle(dt float64) {
 func (d *Device) ColdEpochTime(arch *nn.Arch, n int) float64 {
 	saved := *d
 	d.Reset()
+	d.Tracer = nil // measurement probes must not pollute the trace
 	t := d.EpochTime(arch, n)
 	*d = saved
 	return t

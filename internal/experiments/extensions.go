@@ -42,6 +42,7 @@ func ExtEnergy(o Options) (*Report, error) {
 		return nil, err
 	}
 	req := tb.request(arch, ds.TotalSamples, ShardSize)
+	req.Trace = o.Trace
 	tbl := &Table{
 		Title:   "Testbed II, MNIST+LeNet, 3 rounds of 60K samples",
 		Columns: []string{"scheduler", "mean round [s]", "total energy [kJ]", "worst battery drain %", "Nexus6P energy [kJ]"},
@@ -53,7 +54,7 @@ func ExtEnergy(o Options) (*Report, error) {
 			return nil, err
 		}
 		devs := tb.devices()
-		spans, err := fl.SimulateRounds(arch, devs, tb.links(), asg.Samples(ShardSize), 20, 3)
+		spans, err := fl.SimulateRoundsTraced(arch, devs, tb.links(), asg.Samples(ShardSize), 20, 3, o.Trace)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +99,7 @@ func ExtAsync(o Options) (*Report, error) {
 	}
 	cfg := fl.Config{
 		Arch: smallArch("LeNet", train.C), Rounds: rounds, BatchSize: 20,
-		LR: 0.02, Momentum: 0.9, Seed: o.Seed, Workers: o.Workers,
+		LR: 0.02, Momentum: 0.9, Seed: o.Seed, Workers: o.Workers, Trace: o.Trace,
 	}
 	syncClients, err := mkClients()
 	if err != nil {
@@ -152,6 +153,7 @@ func ExtSecAgg(o Options) (*Report, error) {
 		cfg := fl.Config{
 			Arch: smallArch("LeNet", train.C), Rounds: rounds, BatchSize: 20,
 			LR: 0.02, Momentum: 0.9, Seed: o.Seed, SecureAgg: secure, Workers: o.Workers,
+			Trace: o.Trace,
 		}
 		start := time.Now()
 		hist, err := fl.Run(cfg, clients, test)
@@ -180,7 +182,7 @@ func ExtGossip(o Options) (*Report, error) {
 	train, test := data.TrainTest(data.SMNISTConfig(0, o.Seed+85), trainN, testN)
 	cfg := fl.Config{
 		Arch: smallArch("LeNet", train.C), Rounds: rounds, BatchSize: 20,
-		LR: 0.02, Momentum: 0.9, Seed: o.Seed, Workers: o.Workers,
+		LR: 0.02, Momentum: 0.9, Seed: o.Seed, Workers: o.Workers, Trace: o.Trace,
 	}
 	mkClients := func() ([]*fl.Client, error) {
 		part := data.IIDEqual(train, users, rand.New(rand.NewSource(o.Seed)))

@@ -39,6 +39,7 @@ func Fig5(o Options) (*Report, error) {
 					return nil, err
 				}
 				req := tb.request(arch, ds.TotalSamples, ShardSize)
+				req.Trace = o.Trace
 				times := make(map[string]float64)
 				for _, s := range schedulers() {
 					runs := 1
@@ -50,7 +51,7 @@ func Fig5(o Options) (*Report, error) {
 						rng := rand.New(rand.NewSource(o.Seed + int64(100*tbID+run)))
 						mean, err := meanRoundTime(tb, arch, s, req, rounds, rng,
 							func(samples []int) ([]float64, error) {
-								return fl.SimulateRounds(arch, tb.devices(), tb.links(), samples, 20, rounds)
+								return fl.SimulateRoundsTraced(arch, tb.devices(), tb.links(), samples, 20, rounds, o.Trace)
 							})
 						if err != nil {
 							return nil, err

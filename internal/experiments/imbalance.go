@@ -53,6 +53,7 @@ func runFLHist(o Options, arch *nn.Arch, train, test *data.Dataset, part data.Pa
 		Momentum:  0.9,
 		Seed:      o.Seed + 1,
 		Workers:   o.Workers,
+		Trace:     o.Trace,
 	}
 	return fl.Run(cfg, clients, test)
 }

@@ -225,9 +225,10 @@ func Fig7(o Options) (*Report, error) {
 				times := make(map[string]float64)
 				for _, s := range []sched.Scheduler{sched.Proportional{}, sched.Random{}, sched.Equal{}} {
 					req := tb.request(arch, ds.TotalSamples, ShardSize)
+					req.Trace = o.Trace
 					mean, err := meanRoundTime(tb, arch, s, req, rounds, rng,
 						func(samples []int) ([]float64, error) {
-							return fl.SimulateRounds(arch, tb.devices(), tb.links(), samples, 20, rounds)
+							return fl.SimulateRoundsTraced(arch, tb.devices(), tb.links(), samples, 20, rounds, o.Trace)
 						})
 					if err != nil {
 						return nil, err
@@ -238,7 +239,7 @@ func Fig7(o Options) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
-				spans, err := fl.SimulateRounds(arch, tb.devices(), tb.links(), asg.Samples(ShardSize), 20, rounds)
+				spans, err := fl.SimulateRoundsTraced(arch, tb.devices(), tb.links(), asg.Samples(ShardSize), 20, rounds, o.Trace)
 				if err != nil {
 					return nil, err
 				}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"fedsched/internal/trace"
 )
 
 // Options tunes experiment scale.
@@ -23,6 +25,10 @@ type Options struct {
 	// engines (fl.Config.Workers): 0 = GOMAXPROCS, negative = strictly
 	// sequential. Results are identical for any value at a fixed Seed.
 	Workers int
+	// Trace, when non-nil, collects the round trace of every traced
+	// driver (schedule assignments, solver probes, per-client round
+	// events, round summaries) — `fedsim -trace out.jsonl` plumbs it.
+	Trace *trace.Recorder
 }
 
 // Table is a formatted result table.

@@ -10,6 +10,7 @@ import (
 	"fedsched/internal/nn"
 	"fedsched/internal/sim"
 	"fedsched/internal/tensor"
+	"fedsched/internal/trace"
 )
 
 // AsyncConfig drives an asynchronous federated run. The paper (§II-B)
@@ -92,6 +93,13 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 		c.net = cfg.Arch.Build(rootRNG)
 		c.opt = nn.NewSGD(cfg.LR, cfg.Momentum, 0)
 		c.rng = rand.New(rand.NewSource(cfg.Seed + int64(c.ID)*7919 + 1))
+		if cfg.Trace != nil && c.Device != nil {
+			// Device work (TrainSamples/Idle) runs on the event-loop
+			// goroutine only — the background futures touch nothing but
+			// the network — so devices can share the run recorder.
+			c.Device.Tracer = cfg.Trace
+			c.Device.TraceID = c.ID
+		}
 	}
 
 	hist := &AsyncHistory{UpdatesPerClient: make([]int, len(clients))}
@@ -103,6 +111,7 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 	}
 
 	var engine sim.Engine
+	engine.Tracer = cfg.Trace
 	done := func() bool {
 		return (cfg.MaxUpdates > 0 && hist.Updates >= cfg.MaxUpdates) || engine.Now() > deadline
 	}
@@ -172,10 +181,13 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 				// Sequential path: real gradient descent inline.
 				localEpoch(c, pulled)
 			}
-			compute := 0.0
+			compute, energy, battery := 0.0, 0.0, 1.0
 			if c.Device != nil {
+				e0 := c.Device.EnergyJ
 				compute, _ = c.Device.TrainSamples(cfg.Arch, c.Local.Len(), cfg.BatchSize)
 				c.Device.Idle(c.Link.UploadTime(modelBytes))
+				energy = c.Device.EnergyJ - e0
+				battery = c.Device.BatteryRemaining()
 			}
 			engine.After(compute+c.Link.UploadTime(modelBytes), func() {
 				if done() {
@@ -190,6 +202,12 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 				hist.Updates++
 				hist.UpdatesPerClient[clientIndex(clients, c.ID)]++
 				stalenessSum += staleness
+				cfg.Trace.Emit(trace.Event{
+					Kind: trace.KindMerge, Round: hist.Updates - 1, Client: c.ID,
+					Samples: c.Local.Len(), Staleness: int(staleness), AtS: engine.Now(),
+					ComputeS: compute, CommS: commDown + c.Link.UploadTime(modelBytes),
+					EnergyJ: energy, Battery: battery,
+				})
 				cycle(c) // immediately start the next iteration
 			})
 		})

@@ -24,6 +24,7 @@ import (
 	"fedsched/internal/network"
 	"fedsched/internal/nn"
 	"fedsched/internal/tensor"
+	"fedsched/internal/trace"
 )
 
 // Client is one federated participant.
@@ -80,6 +81,14 @@ type Config struct {
 	// LRSchedule, when set, overrides LR per round (see nn.StepDecayLR,
 	// nn.CosineLR).
 	LRSchedule nn.LRSchedule
+	// Trace, when non-nil, receives the run's round-trace: per-client
+	// round events (compute/comm seconds, energy, battery, temperature,
+	// DVFS throttle transitions, assigned samples) and per-round
+	// aggregates (makespan, straggler id, loss, accuracy). Each client
+	// buffers its events in a private ring during the parallel section;
+	// the engine merges them post-join in client order, so the trace is
+	// bit-identical for any Workers value — same contract as the History.
+	Trace *trace.Recorder
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +113,11 @@ type ClientRound struct {
 	TrainLoss   float64
 	EnergyJ     float64
 	Temperature float64
+	// Throttles counts the device's DVFS governor transitions (soft
+	// engage/release, hard trip/recover) during this round's training.
+	Throttles int
+	// BatteryFrac is the battery fraction remaining after the round.
+	BatteryFrac float64
 	// Dropped marks a participant cut by the round deadline; its update
 	// was discarded.
 	Dropped bool
@@ -169,6 +183,7 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 	workers := workerCount(cfg.Workers, len(active))
 	crs := make([]ClientRound, len(active))
 	diverged := make([]bool, len(active))
+	clientTrace := attachClientTracers(cfg.Trace, active)
 	// sumW is the plaintext aggregation scratch, allocated once and
 	// reused (zeroed) every round instead of cloning per participant.
 	var sumW []*tensor.Tensor
@@ -191,6 +206,7 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 			participants []*Client
 			sampleCounts []int
 		)
+		straggler := -1
 		for i, c := range active {
 			cr := crs[i]
 			if diverged[i] {
@@ -212,6 +228,7 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 			stats.Clients = append(stats.Clients, cr)
 			if span > stats.Makespan {
 				stats.Makespan = span
+				straggler = c.ID
 			}
 			lossSum += cr.TrainLoss * float64(cr.Samples)
 			participants = append(participants, c)
@@ -224,6 +241,7 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 				// not an error. The global model stands.
 				stats.TrainLoss = math.NaN()
 				stats.Accuracy = -1
+				emitRoundTrace(cfg.Trace, clientTrace, stats, straggler)
 				hist.Rounds = append(hist.Rounds, stats)
 				hist.TotalSeconds += stats.Makespan
 				continue
@@ -266,6 +284,7 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 		} else {
 			stats.Accuracy = -1
 		}
+		emitRoundTrace(cfg.Trace, clientTrace, stats, straggler)
 		hist.Rounds = append(hist.Rounds, stats)
 		hist.TotalSeconds += stats.Makespan
 	}
@@ -324,10 +343,13 @@ func (c *Client) trainRound(cfg Config, globalW []*tensor.Tensor, modelBytes int
 	cr := ClientRound{ClientID: c.ID, Samples: n, TrainLoss: lossSum / float64(batches)}
 	if c.Device != nil {
 		e0 := c.Device.EnergyJ
+		th0 := c.Device.Throttles
 		cr.ComputeS, _ = c.Device.TrainSamples(cfg.Arch, n, cfg.BatchSize)
 		cr.CommS = c.Link.RoundTripTime(modelBytes)
 		cr.EnergyJ = c.Device.EnergyJ - e0
 		cr.Temperature = c.Device.TempC
+		cr.Throttles = c.Device.Throttles - th0
+		cr.BatteryFrac = c.Device.BatteryRemaining()
 	}
 	return cr
 }

@@ -81,6 +81,8 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 	modelBytes := cfg.Arch.SizeBytes()
 	workers := workerCount(cfg.Workers, len(active))
 	spans := make([]float64, len(active))
+	crs := make([]ClientRound, len(active))
+	clientTrace := attachClientTracers(cfg.Trace, active)
 
 	for round := 0; round < cfg.Rounds; round++ {
 		// Local epochs are independent (per-client model, RNG, device),
@@ -92,26 +94,39 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 			c.opt.Reset()
 			c.Local.Shuffle(c.rng)
 			n := c.Local.Len()
+			lossSum, batches := 0.0, 0
 			for s := 0; s < n; s += cfg.BatchSize {
 				end := s + cfg.BatchSize
 				if end > n {
 					end = n
 				}
 				x, y := c.Local.Batch(s, end)
-				c.net.TrainBatch(x, y)
+				lossSum += c.net.TrainBatch(x, y)
 				c.opt.Step(c.net.Params())
+				batches++
 			}
 			spans[i] = 0
+			crs[i] = ClientRound{ClientID: c.ID, Samples: n, TrainLoss: lossSum / float64(batches)}
 			if c.Device != nil {
+				e0 := c.Device.EnergyJ
+				th0 := c.Device.Throttles
 				comp, _ := c.Device.TrainSamples(cfg.Arch, n, cfg.BatchSize)
 				// Peer exchange: send own model, receive the peer's.
 				spans[i] = comp + c.Link.UploadTime(modelBytes) + c.Link.DownloadTime(modelBytes)
+				crs[i].ComputeS = comp
+				crs[i].CommS = spans[i] - comp
+				crs[i].EnergyJ = c.Device.EnergyJ - e0
+				crs[i].Temperature = c.Device.TempC
+				crs[i].Throttles = c.Device.Throttles - th0
+				crs[i].BatteryFrac = c.Device.BatteryRemaining()
 			}
 		})
 		makespan := 0.0
-		for _, s := range spans {
+		straggler := -1
+		for i, s := range spans {
 			if s > makespan {
 				makespan = s
+				straggler = active[i].ID
 			}
 		}
 		for i, c := range active {
@@ -120,6 +135,10 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 			}
 		}
 		hist.TotalSeconds += makespan
+		emitRoundTrace(cfg.Trace, clientTrace, RoundStats{
+			Round: round, Makespan: makespan, Accuracy: -1, Clients: crs,
+			TrainLoss: meanLoss(crs),
+		}, straggler)
 
 		// Pairwise averaging on the live weights (a's tensors are the
 		// average afterwards; b copies them).

@@ -8,6 +8,7 @@ import (
 	"fedsched/internal/device"
 	"fedsched/internal/network"
 	"fedsched/internal/nn"
+	"fedsched/internal/trace"
 )
 
 // Centralized trains one model on the full dataset for the given number of
@@ -69,30 +70,67 @@ func BuildClients(devices []*device.Device, links []network.Link, datasets []*da
 // transfer time. This is what the computation-time experiments (Figs 5, 7)
 // measure; accuracy experiments use Run instead.
 func SimulateRounds(arch *nn.Arch, devices []*device.Device, links []network.Link, samples []int, batch, rounds int) ([]float64, error) {
+	return SimulateRoundsTraced(arch, devices, links, samples, batch, rounds, nil)
+}
+
+// SimulateRoundsTraced is SimulateRounds with a round trace: devices emit
+// their throttle transitions and each round closes with per-client
+// KindClientRound events plus a KindRoundSummary (makespan, straggler).
+// The loop is sequential, so devices emit straight into rec. rec may be
+// nil (no trace, identical to SimulateRounds).
+func SimulateRoundsTraced(arch *nn.Arch, devices []*device.Device, links []network.Link, samples []int, batch, rounds int, rec *trace.Recorder) ([]float64, error) {
 	if len(devices) != len(samples) || len(links) != len(samples) {
 		return nil, fmt.Errorf("fl: mismatched lengths: %d devices, %d links, %d sample counts",
 			len(devices), len(links), len(samples))
 	}
+	var recs []*trace.Recorder
+	if rec != nil {
+		// Per-device rings (even though this loop is sequential) so the
+		// throttle events get round-stamped on the drain, exactly like the
+		// training engines.
+		recs = make([]*trace.Recorder, len(devices))
+		for i, dev := range devices {
+			recs[i] = trace.New(clientRingCapacity)
+			dev.Tracer = recs[i]
+			dev.TraceID = i
+		}
+	}
 	bytes := arch.SizeBytes()
 	spans := make([]float64, 0, rounds)
+	crs := make([]ClientRound, len(devices))
 	for r := 0; r < rounds; r++ {
 		makespan := 0.0
+		straggler := -1
 		times := make([]float64, len(devices))
 		for i, dev := range devices {
+			crs[i] = ClientRound{ClientID: i, Samples: samples[i], BatteryFrac: dev.BatteryRemaining(), Temperature: dev.TempC}
 			if samples[i] <= 0 {
 				continue
 			}
+			e0 := dev.EnergyJ
+			th0 := dev.Throttles
 			comp, _ := dev.TrainSamples(arch, samples[i], batch)
 			t := comp + links[i].RoundTripTime(bytes)
 			times[i] = t
+			crs[i].ComputeS = comp
+			crs[i].CommS = t - comp
+			crs[i].EnergyJ = dev.EnergyJ - e0
+			crs[i].Temperature = dev.TempC
+			crs[i].Throttles = dev.Throttles - th0
+			crs[i].BatteryFrac = dev.BatteryRemaining()
 			if t > makespan {
 				makespan = t
+				straggler = i
 			}
 		}
 		for i, dev := range devices {
 			dev.Idle(makespan - times[i])
 		}
 		spans = append(spans, makespan)
+		emitRoundTrace(rec, recs, RoundStats{
+			Round: r, Makespan: makespan, Accuracy: -1, Clients: crs,
+			TrainLoss: -1,
+		}, straggler)
 	}
 	return spans, nil
 }

@@ -11,12 +11,21 @@ import (
 	"sort"
 
 	"fedsched/internal/matching"
+	"fedsched/internal/trace"
 )
 
 // Solve assigns each of n workers one of n tasks (cost[i][j] = cost of task
 // i on worker j) minimizing the maximum selected cost. It returns the
 // bottleneck value and assignment (task i → worker assign[i]).
 func Solve(cost [][]float64) (float64, []int, error) {
+	return SolveTraced(cost, nil)
+}
+
+// SolveTraced is Solve with solver observability: each threshold probe of
+// the binary search emits one KindSolver event (the probed threshold, the
+// matching size found, Flag 1 when the matching was perfect) into rec.
+// rec may be nil.
+func SolveTraced(cost [][]float64, rec *trace.Recorder) (float64, []int, error) {
 	n := len(cost)
 	if n == 0 {
 		return 0, nil, fmt.Errorf("lbap: empty cost matrix")
@@ -34,6 +43,7 @@ func Solve(cost [][]float64) (float64, []int, error) {
 	sort.Float64s(values)
 	values = dedup(values)
 
+	probes := 0
 	feasible := func(c float64) (bool, []int) {
 		adj := make([][]int, n)
 		for i := 0; i < n; i++ {
@@ -44,6 +54,15 @@ func Solve(cost [][]float64) (float64, []int, error) {
 			}
 		}
 		size, matchL := matching.HopcroftKarp(n, n, adj)
+		flag := 0
+		if size == n {
+			flag = 1
+		}
+		rec.Emit(trace.Event{
+			Kind: trace.KindSolver, Round: probes, Client: -1,
+			Samples: size, Flag: flag, MakespanS: c,
+		})
+		probes++
 		return size == n, matchL
 	}
 

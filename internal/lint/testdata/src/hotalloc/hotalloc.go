@@ -59,3 +59,44 @@ func resize() []float64 {
 func IntScratch() []int {
 	return make([]int, 4)
 }
+
+// Event and Ring mirror the internal/trace recorder: a fixed-capacity
+// ring of flat event structs written by an annotated hot-path Emit.
+type Event struct {
+	Round int
+	AtS   float64
+}
+
+type Ring struct {
+	buf   []Event
+	start int
+	n     int
+}
+
+// Emit is the sanctioned shape — indexed wraparound writes into the
+// pre-sized ring never touch the allocator and produce no diagnostics.
+//
+// fedlint:hotpath
+func (r *Ring) Emit(e Event) {
+	if r.n < len(r.buf) {
+		r.buf[(r.start+r.n)%len(r.buf)] = e
+		r.n++
+		return
+	}
+	r.buf[r.start] = e
+	r.start = (r.start + 1) % len(r.buf)
+}
+
+// EmitAppend is the anti-pattern the pass exists to catch: growing the
+// event buffer from inside the hot path.
+//
+// fedlint:hotpath
+func (r *Ring) EmitAppend(e Event) {
+	r.buf = append(r.buf, e) // want `append in hot-path function EmitAppend may grow its backing array`
+}
+
+// NewRing is cold construction; make of a struct slice is not tensor
+// storage and the function is never reached from an annotated root.
+func NewRing(capacity int) *Ring {
+	return &Ring{buf: make([]Event, capacity)}
+}

@@ -108,5 +108,6 @@ func weightedSplit(req *Request, weights []float64, sum float64, algo string) (*
 	}
 	asg := &Assignment{Shards: shards, Algorithm: algo}
 	asg.PredictedMakespan = Makespan(req, asg)
+	emitSchedule(req, asg)
 	return asg, nil
 }

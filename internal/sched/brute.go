@@ -55,5 +55,6 @@ func (BruteForce) Schedule(req *Request, _ *rand.Rand) (*Assignment, error) {
 		r -= shards[j]
 	}
 	asg := &Assignment{Shards: shards, Algorithm: "BruteForce", PredictedMakespan: best[0][s]}
+	emitSchedule(req, asg)
 	return asg, nil
 }

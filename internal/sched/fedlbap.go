@@ -3,6 +3,8 @@ package sched
 import (
 	"math/rand"
 	"sort"
+
+	"fedsched/internal/trace"
 )
 
 // FedLBAP is Algorithm 1: joint data partitioning and assignment for IID
@@ -73,13 +75,20 @@ func (FedLBAP) Schedule(req *Request, _ *rand.Rand) (*Assignment, error) {
 
 	// Binary search the smallest feasible threshold over the sorted values.
 	lo, hi := 0, len(values)-1
-	for lo < hi {
+	for iter := 0; lo < hi; iter++ {
 		mid := (lo + hi) / 2
-		if feasibleShards(values[mid]) >= s {
+		feasible := feasibleShards(values[mid])
+		flag := 0
+		if feasible >= s {
+			flag = 1
 			hi = mid
 		} else {
 			lo = mid + 1
 		}
+		req.Trace.Emit(trace.Event{
+			Kind: trace.KindSolver, Round: iter, Client: -1,
+			Samples: feasible, Flag: flag, MakespanS: values[mid],
+		})
 	}
 	cstar := values[lo]
 
@@ -114,5 +123,6 @@ func (FedLBAP) Schedule(req *Request, _ *rand.Rand) (*Assignment, error) {
 
 	asg := &Assignment{Shards: shards, Algorithm: "Fed-LBAP"}
 	asg.PredictedMakespan = Makespan(req, asg)
+	emitSchedule(req, asg)
 	return asg, nil
 }

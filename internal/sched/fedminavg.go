@@ -115,5 +115,6 @@ func (FedMinAvg) Schedule(req *Request, _ *rand.Rand) (*Assignment, error) {
 	asg := &Assignment{Shards: shards, Algorithm: "Fed-MinAvg"}
 	asg.PredictedMakespan = Makespan(req, asg)
 	asg.PredictedAvgCost = totalCost / float64(s)
+	emitSchedule(req, asg)
 	return asg, nil
 }

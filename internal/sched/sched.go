@@ -10,6 +10,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+
+	"fedsched/internal/trace"
 )
 
 // User is one candidate participant.
@@ -52,6 +54,12 @@ type Request struct {
 	K     int
 	Alpha float64
 	Beta  float64
+
+	// Trace, when non-nil, receives one KindSchedule event per user of the
+	// computed assignment, and — for Fed-LBAP — one KindSolver event per
+	// threshold probe of the binary search. Schedulers are sequential, so
+	// they emit directly.
+	Trace *trace.Recorder
 }
 
 // totalCapacity returns the sum of user capacities.
@@ -165,3 +173,18 @@ func Validate(r *Request, a *Assignment) error {
 
 // almostLE reports a ≤ b up to floating-point slack.
 func almostLE(a, b float64) bool { return a <= b+1e-9*math.Max(1, math.Abs(b)) }
+
+// emitSchedule records a computed assignment into the request's trace:
+// one KindSchedule event per user with the assigned samples and
+// predicted per-user cost, each carrying the assignment-level predicted
+// makespan and (Fed-MinAvg only) objective value. Every Scheduler calls
+// it on its way out.
+func emitSchedule(req *Request, asg *Assignment) {
+	for j, k := range asg.Shards {
+		req.Trace.Emit(trace.Event{
+			Kind: trace.KindSchedule, Round: -1, Client: j,
+			Samples: k * req.ShardSize, ComputeS: userCost(req, j, k),
+			MakespanS: asg.PredictedMakespan, Loss: asg.PredictedAvgCost,
+		})
+	}
+}

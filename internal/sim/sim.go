@@ -8,6 +8,8 @@ package sim
 import (
 	"container/heap"
 	"fmt"
+
+	"fedsched/internal/trace"
 )
 
 // Event is a scheduled callback.
@@ -43,7 +45,19 @@ type Engine struct {
 	now    float64
 	queue  eventHeap
 	nextID int64
+	// processed counts events run so far.
+	processed int
+
+	// Tracer, when non-nil, receives one KindSimStep event per processed
+	// event (virtual time in AtS, the engine sequence number in Round) —
+	// the event-loop timeline of an asynchronous run. The engine is
+	// single-threaded, so emission order is deterministic by
+	// construction.
+	Tracer *trace.Recorder
 }
+
+// Processed returns the number of events run so far.
+func (e *Engine) Processed() int { return e.processed }
 
 // Now returns the current virtual time in seconds.
 func (e *Engine) Now() float64 { return e.now }
@@ -73,6 +87,8 @@ func (e *Engine) Step() bool {
 	}
 	ev := heap.Pop(&e.queue).(*Event)
 	e.now = ev.At
+	e.processed++
+	e.Tracer.Emit(trace.Event{Kind: trace.KindSimStep, Round: int(ev.seq), Client: -1, AtS: ev.At})
 	ev.Fn()
 	return true
 }

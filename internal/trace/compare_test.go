@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// base returns a fully-populated event so every field participates in
+// the comparison tests.
+func base() Event {
+	return Event{
+		Kind: KindClientRound, Round: 3, Client: 2, Samples: 400,
+		Throttles: 5, Straggler: -1, Staleness: 1, Flag: 0,
+		AtS: 12.5, ComputeS: 88.25, CommS: 3.75, EnergyJ: 120.5,
+		Battery: 0.93, TempC: 61.2, FreqGHz: 1.44, MakespanS: 92.0,
+		Loss: 1.532, Accuracy: 0.81,
+	}
+}
+
+func TestCompareTolerances(t *testing.T) {
+	tests := []struct {
+		name    string
+		mutate  func(*Event)
+		tol     Tolerances
+		wantErr string // substring; empty = must pass
+	}{
+		{name: "identical exact", mutate: func(*Event) {}, tol: Exact},
+		{name: "identical default", mutate: func(*Event) {}, tol: DefaultTolerances},
+		{
+			name:   "float within rel tolerance",
+			mutate: func(e *Event) { e.ComputeS *= 1 + 1e-12 },
+			tol:    DefaultTolerances,
+		},
+		{
+			name:    "float beyond rel tolerance",
+			mutate:  func(e *Event) { e.ComputeS *= 1 + 1e-6 },
+			tol:     DefaultTolerances,
+			wantErr: "compute_s",
+		},
+		{
+			name:    "exact rejects any float drift",
+			mutate:  func(e *Event) { e.Loss += 1e-15 },
+			tol:     Exact,
+			wantErr: "loss",
+		},
+		{
+			name:    "int field off by one fails even with loose float tolerance",
+			mutate:  func(e *Event) { e.Throttles++ },
+			tol:     Tolerances{Rel: 100, Abs: 100},
+			wantErr: "throttles",
+		},
+		{
+			name:    "straggler id is exact",
+			mutate:  func(e *Event) { e.Straggler = 4 },
+			tol:     Tolerances{Rel: 100, Abs: 100},
+			wantErr: "straggler",
+		},
+		{
+			name:    "samples is exact",
+			mutate:  func(e *Event) { e.Samples-- },
+			tol:     Tolerances{Rel: 100, Abs: 100},
+			wantErr: "samples",
+		},
+		{
+			name:    "flag is exact",
+			mutate:  func(e *Event) { e.Flag = ClientDropped },
+			tol:     Tolerances{Rel: 100, Abs: 100},
+			wantErr: "flag",
+		},
+		{
+			name:    "kind mismatch",
+			mutate:  func(e *Event) { e.Kind = KindRoundSummary },
+			tol:     Tolerances{Rel: 100, Abs: 100},
+			wantErr: "kind",
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			golden := []Event{base(), base()}
+			got := []Event{base(), base()}
+			tc.mutate(&got[1])
+			err := Compare(golden, got, tc.tol)
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("Compare failed: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Compare passed, want error mentioning %q", tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+			if !strings.Contains(err.Error(), "event 1") {
+				t.Fatalf("error %q does not name the mismatching event index", err)
+			}
+		})
+	}
+}
+
+// TestCompareAbsSlackNearZero exercises the absolute term: when the
+// golden value is exactly zero, a relative bound alone rejects any
+// drift, so Abs must carry it.
+func TestCompareAbsSlackNearZero(t *testing.T) {
+	golden, got := base(), base()
+	golden.CommS, got.CommS = 0, 5e-13
+	if err := Compare([]Event{golden}, []Event{got}, DefaultTolerances); err != nil {
+		t.Fatalf("Abs slack should cover near-zero drift: %v", err)
+	}
+	relOnly := Tolerances{Rel: 1e-9}
+	if err := Compare([]Event{golden}, []Event{got}, relOnly); err == nil {
+		t.Fatal("relative-only tolerance should reject drift from a zero golden")
+	}
+}
+
+func TestCompareLengthMismatch(t *testing.T) {
+	err := Compare([]Event{base()}, []Event{base(), base()}, DefaultTolerances)
+	if err == nil || !strings.Contains(err.Error(), "count") {
+		t.Fatalf("want count-mismatch error, got %v", err)
+	}
+}
+
+func TestCompareEmpty(t *testing.T) {
+	if err := Compare(nil, nil, Exact); err != nil {
+		t.Fatalf("empty traces should compare equal: %v", err)
+	}
+}

@@ -1,0 +1,192 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+)
+
+// MarshalJSON encodes the kind as its stable string name, keeping JSONL
+// traces self-describing and diffable.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts the string names written by MarshalJSON.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	kk, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = kk
+	return nil
+}
+
+// ParseKind inverts Kind.String.
+func ParseKind(s string) (Kind, error) {
+	for k, name := range kindNames {
+		if name == s {
+			return Kind(k), nil
+		}
+	}
+	return 0, fmt.Errorf("trace: unknown event kind %q", s)
+}
+
+// WriteJSONL writes one JSON object per event, one per line, in order.
+// Encoding is deterministic (fixed field order, shortest float
+// round-trip representation), so equal event sequences produce
+// byte-identical files.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for i := range events {
+		if err := enc.Encode(&events[i]); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadJSONL parses a JSONL trace written by WriteJSONL. Blank lines are
+// skipped so hand-edited goldens stay readable.
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		b := sc.Bytes()
+		if len(b) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(b, &e); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// WriteFileJSONL writes the events to path as JSONL (see WriteJSONL) —
+// the `-trace` flag of the binaries.
+func WriteFileJSONL(path string, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteJSONL(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFileJSONL reads a JSONL trace from path (see ReadJSONL).
+func ReadFileJSONL(path string) ([]Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSONL(f)
+}
+
+// WriteFileCSV writes the events to path as CSV (see WriteCSV) — the
+// `-trace-csv` flag of the binaries.
+func WriteFileCSV(path string, events []Event) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteCSV(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// csvHeader is the fixed CSV column order; it mirrors the Event fields.
+var csvHeader = []string{
+	"kind", "round", "client", "samples", "throttles", "straggler",
+	"staleness", "flag", "at_s", "compute_s", "comm_s", "energy_j",
+	"battery", "temp_c", "freq_ghz", "makespan_s", "loss", "accuracy",
+}
+
+// WriteCSV writes the events as CSV with a header row. Floats use the
+// shortest round-trip representation, so ReadCSV(WriteCSV(e)) == e.
+func WriteCSV(w io.Writer, events []Event) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	f := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	d := strconv.Itoa
+	for i := range events {
+		e := &events[i]
+		rec := []string{
+			e.Kind.String(), d(e.Round), d(e.Client), d(e.Samples),
+			d(e.Throttles), d(e.Straggler), d(e.Staleness), d(e.Flag),
+			f(e.AtS), f(e.ComputeS), f(e.CommS), f(e.EnergyJ),
+			f(e.Battery), f(e.TempC), f(e.FreqGHz), f(e.MakespanS),
+			f(e.Loss), f(e.Accuracy),
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("trace: event %d: %w", i, err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a CSV trace written by WriteCSV.
+func ReadCSV(r io.Reader) ([]Event, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return nil, err
+	}
+	if len(recs) == 0 {
+		return nil, fmt.Errorf("trace: empty CSV (missing header)")
+	}
+	out := make([]Event, 0, len(recs)-1)
+	for i, rec := range recs[1:] {
+		var e Event
+		if e.Kind, err = ParseKind(rec[0]); err != nil {
+			return nil, fmt.Errorf("trace: row %d: %w", i+1, err)
+		}
+		ints := []*int{
+			&e.Round, &e.Client, &e.Samples, &e.Throttles,
+			&e.Straggler, &e.Staleness, &e.Flag,
+		}
+		for j, p := range ints {
+			if *p, err = strconv.Atoi(rec[1+j]); err != nil {
+				return nil, fmt.Errorf("trace: row %d col %s: %w", i+1, csvHeader[1+j], err)
+			}
+		}
+		floats := []*float64{
+			&e.AtS, &e.ComputeS, &e.CommS, &e.EnergyJ, &e.Battery,
+			&e.TempC, &e.FreqGHz, &e.MakespanS, &e.Loss, &e.Accuracy,
+		}
+		for j, p := range floats {
+			if *p, err = strconv.ParseFloat(rec[8+j], 64); err != nil {
+				return nil, fmt.Errorf("trace: row %d col %s: %w", i+1, csvHeader[8+j], err)
+			}
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

@@ -1,0 +1,87 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// roundRow accumulates one round's line of the summary table.
+type roundRow struct {
+	round                 int
+	makespan              float64
+	straggler             int
+	loss, accuracy        float64
+	samples, participants int
+	dropped, throttles    int
+	energyJ               float64
+	haveSummary           bool
+}
+
+// WriteSummary renders a compact per-round table from a trace: one row
+// per KindRoundSummary event, enriched with the participant and throttle
+// counts of the round's client events. This is the human view of the
+// quantities the paper plots (makespan and energy per round); fedsim
+// -trace-summary and fedtrain -trace-summary print it after a run.
+func WriteSummary(w io.Writer, events []Event) error {
+	var order []int
+	rows := map[int]*roundRow{}
+	row := func(round int) *roundRow {
+		r, ok := rows[round]
+		if !ok {
+			r = &roundRow{round: round, straggler: -1, loss: -1, accuracy: -1}
+			rows[round] = r
+			order = append(order, round)
+		}
+		return r
+	}
+	for i := range events {
+		e := &events[i]
+		switch e.Kind {
+		case KindClientRound:
+			r := row(e.Round)
+			r.participants++
+			if e.Flag == ClientDropped {
+				r.dropped++
+			}
+		case KindRoundSummary:
+			r := row(e.Round)
+			r.haveSummary = true
+			r.makespan = e.MakespanS
+			r.straggler = e.Straggler
+			r.loss = e.Loss
+			r.accuracy = e.Accuracy
+			r.samples = e.Samples
+			r.throttles = e.Throttles
+			r.energyJ = e.EnergyJ
+		case KindMerge:
+			r := row(e.Round)
+			r.haveSummary = true
+			r.participants++
+			r.makespan = e.AtS
+			r.straggler = e.Client
+			r.samples = e.Samples
+			r.energyJ = e.EnergyJ
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%5s  %10s  %9s  %8s  %8s  %7s  %7s  %6s  %9s\n",
+		"round", "makespan_s", "straggler", "loss", "accuracy", "clients", "samples", "thrtl", "energy_kJ")
+	n := 0
+	for _, round := range order {
+		r := rows[round]
+		if !r.haveSummary {
+			continue
+		}
+		n++
+		fmt.Fprintf(&b, "%5d  %10.2f  %9d  %8.4f  %8.4f  %7d  %7d  %6d  %9.3f\n",
+			r.round, r.makespan, r.straggler, r.loss, r.accuracy,
+			r.participants, r.samples, r.throttles, r.energyJ/1000)
+	}
+	if n == 0 {
+		fmt.Fprintln(&b, "(no round events in trace)")
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -1,0 +1,175 @@
+package fedsched
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"fedsched/internal/device"
+	"fedsched/internal/fl"
+	"fedsched/internal/network"
+	"fedsched/internal/sched"
+	"fedsched/internal/trace"
+)
+
+// updateGolden regenerates the golden traces under testdata/trace:
+//
+//	go test -run TestGoldenTrace . -args -update-golden
+//
+// (or `make trace-golden`). Review the resulting diff before committing —
+// a golden change is a behaviour change.
+var updateGolden = flag.Bool("update-golden", false, "rewrite the golden trace files under testdata/trace")
+
+// testbedDevices instantiates fresh devices and links for a testbed, the
+// same way Testbed.SimulateRounds does internally.
+func testbedDevices(tb *Testbed) ([]*device.Device, []network.Link) {
+	devs := make([]*device.Device, len(tb.Profiles))
+	links := make([]network.Link, len(tb.Profiles))
+	for i, p := range tb.Profiles {
+		devs[i] = device.New(p)
+		links[i] = tb.Link
+	}
+	return devs, links
+}
+
+// lbapGoldenTrace: Fed-LBAP on the paper's 6-device testbed — solver
+// probes, the schedule, then three simulated rounds.
+func lbapGoldenTrace(t *testing.T) []trace.Event {
+	t.Helper()
+	rec := NewTraceRecorder(0)
+	tb := NewTestbed(2)
+	arch := LeNet(1, 28, 28, 10)
+	req, err := tb.Request(arch, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Trace = rec
+	asg, err := FedLBAP.Schedule(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs, links := testbedDevices(tb)
+	if _, err := fl.SimulateRoundsTraced(arch, devs, links, asg.Samples(ShardSize), 20, 3, rec); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events()
+}
+
+// minavgGoldenTrace: Fed-MinAvg with fixed non-IID class coverage, then
+// two simulated rounds.
+func minavgGoldenTrace(t *testing.T) []trace.Event {
+	t.Helper()
+	rec := NewTraceRecorder(0)
+	tb := NewTestbed(2)
+	arch := LeNet(1, 28, 28, 10)
+	req, err := tb.Request(arch, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j, u := range req.Users {
+		u.Classes = []int{j % 10, (j + 3) % 10, (j + 6) % 10}
+	}
+	req.K, req.Alpha, req.Beta = 10, 1000, 2
+	req.Trace = rec
+	asg, err := FedMinAvg.Schedule(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	devs, links := testbedDevices(tb)
+	if _, err := fl.SimulateRoundsTraced(arch, devs, links, asg.Samples(ShardSize), 20, 2, rec); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events()
+}
+
+// baselineGoldenTrace: the Equal baseline schedule plus a real two-round
+// FedAvg run on two devices (client rounds, throttles, round summaries
+// with accuracy).
+func baselineGoldenTrace(t *testing.T) []trace.Event {
+	t.Helper()
+	rec := NewTraceRecorder(0)
+
+	// Schedule stage: Equal over a hand-built request — no profiling
+	// needed, the costs just shape the predicted makespan in the trace.
+	users := make([]*sched.User, 2)
+	for j := range users {
+		rate := float64(j+1) / 100
+		users[j] = &sched.User{
+			Name:        fmt.Sprintf("user-%d", j),
+			Cost:        func(n int) float64 { return rate * float64(n) },
+			CommSeconds: 1,
+		}
+	}
+	req := &sched.Request{TotalShards: 6, ShardSize: 100, Users: users, Trace: rec}
+	if _, err := Equal.Schedule(req, rand.New(rand.NewSource(1))); err != nil {
+		t.Fatal(err)
+	}
+
+	// Run stage: tiny synchronous FedAvg with per-round evaluation. The
+	// golden is recorded with Workers: -1 (sequential); the engine
+	// contract makes any other worker count produce identical bytes.
+	train, test := SMNIST(240, 3), SMNIST(120, 4)
+	part := PartitionIID(train, 2, 5)
+	devs := []*device.Device{device.New(device.Pixel2()), device.New(device.Nexus6P())}
+	links := []network.Link{WiFi(), WiFi()}
+	clients, err := fl.BuildClients(devs, links, part.Materialize(train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.Config{
+		Arch: LeNetSmall(1, 16, 16, 10), Rounds: 2, BatchSize: 20,
+		LR: 0.02, Momentum: 0.9, Seed: 1, EvalEvery: 1, Workers: -1,
+		Trace: rec,
+	}
+	if _, err := fl.Run(cfg, clients, test); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events()
+}
+
+// TestGoldenTrace pins the full observability pipeline: fixed-seed runs
+// of the Fed-LBAP, Fed-MinAvg and Equal-baseline scenarios must keep
+// producing the traces recorded under testdata/trace. Comparison is
+// field-by-field under DefaultTolerances (not byte equality), so the
+// goldens survive libm-level float drift across toolchains while still
+// catching any schema, ordering, count or semantic change.
+func TestGoldenTrace(t *testing.T) {
+	cases := []struct {
+		name  string
+		trace func(*testing.T) []trace.Event
+	}{
+		{"lbap", lbapGoldenTrace},
+		{"minavg", minavgGoldenTrace},
+		{"baseline", baselineGoldenTrace},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := c.trace(t)
+			if len(got) == 0 {
+				t.Fatal("scenario produced no trace events")
+			}
+			path := filepath.Join("testdata", "trace", "golden_"+c.name+".jsonl")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := trace.WriteFileJSONL(path, got); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("wrote %d events to %s", len(got), path)
+				return
+			}
+			golden, err := trace.ReadFileJSONL(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with `make trace-golden`)", err)
+			}
+			if err := CompareTraces(golden, got, trace.DefaultTolerances); err != nil {
+				t.Errorf("trace diverged from golden: %v\n"+
+					"(if the change is intentional: `make trace-golden`, then review the diff)", err)
+			}
+		})
+	}
+}
