@@ -12,7 +12,8 @@ GO ?= go
 BENCH_MAX_SLOWDOWN ?= 1.15
 
 .PHONY: build test vet lint fmt-check check race race-tensor trace-golden \
-	bench bench-parallel bench-gemm bench-ci bench-regression
+	bench bench-parallel bench-gemm bench-sched bench-ci bench-regression \
+	population-smoke
 
 build:
 	$(GO) build ./...
@@ -64,10 +65,17 @@ bench-parallel:
 bench-gemm:
 	$(GO) test -run '^$$' -bench 'BenchmarkGEMM' -benchtime=2s ./internal/tensor/ .
 
+# Population-scale scheduling: the sparse/dense solver pair and the
+# O(selected) round loop at 10^3..10^6 clients, behind BENCH_sched.json.
+bench-sched:
+	$(GO) test -run '^$$' -bench 'FedLBAPSparse|FedLBAPDense|BenchmarkRoundLoop' \
+		-benchtime=3x -benchmem .
+
 # CI bench smoke: 5 repetitions of the gated benchmarks; the raw output
 # feeds bench-regression and is uploaded as a CI artifact.
 bench-ci:
-	$(GO) test -run '^$$' -bench 'GEMM_(LeNet|VGG6)$$|Run(Serial|Parallel)$$' \
+	$(GO) test -run '^$$' \
+		-bench 'GEMM_(LeNet|VGG6)$$|Run(Serial|Parallel)$$|FedLBAPSparse|BenchmarkRoundLoop' \
 		-benchtime=3x -count=5 . | tee bench-results.txt
 
 # Compare the bench-ci output against the recorded baselines; benchdiff
@@ -76,4 +84,14 @@ bench-ci:
 bench-regression:
 	$(GO) run ./cmd/benchdiff -bench bench-results.txt \
 		-baseline BENCH_gemm.json -baseline BENCH_fl_parallel.json \
+		-baseline BENCH_sched.json \
 		-max-slowdown $(BENCH_MAX_SLOWDOWN)
+
+# 100K-client fixed-seed population smoke: build, solve and trace one
+# scheduling round over a fleet three orders of magnitude past the
+# testbed. CI runs this in the bench job and uploads the trace artifact;
+# the run is deterministic, so the trace doubles as a debugging golden.
+population-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/fedsim -population 100000 -cohort 64 -pop-rounds 1 \
+		-seed 42 -trace artifacts/population-smoke.jsonl

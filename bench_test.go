@@ -10,6 +10,7 @@
 package fedsched_test
 
 import (
+	"fmt"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -179,3 +180,84 @@ func BenchmarkExtDP(b *testing.B)          { benchExperiment(b, "ext-dp") }
 func BenchmarkExtGranularity(b *testing.B) { benchExperiment(b, "ext-granularity") }
 func BenchmarkExtDropout(b *testing.B)     { benchExperiment(b, "ext-dropout") }
 func BenchmarkExtAdaptive(b *testing.B)    { benchExperiment(b, "ext-adaptive") }
+
+// Population-scale scheduling benchmarks: the sparsified Fed-LBAP solver
+// and the O(selected) population round loop at fleet sizes from 10^3 to
+// 10^6 clients. BENCH_sched.json holds recorded numbers; the headline
+// target is a sub-second n=10^6, s=10^4 solve. Cost curves are
+// deterministic hashed-jitter lines (no math/rand in the hot loop), the
+// same instance family the sparse-vs-dense equivalence tests use.
+func populationRequest(n int) *fedsched.Request {
+	users := make([]*fedsched.User, n)
+	for j := range users {
+		h := uint64(j)*0x9e3779b97f4a7c15 + 1
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		a := 0.5 + float64(h%1000)/500
+		slope := 0.005 + float64((h>>10)%1000)/50000
+		users[j] = &fedsched.User{
+			Cost:        func(samples int) float64 { return a + slope*float64(samples) },
+			CommSeconds: 1 + float64((h>>20)%100)/100,
+		}
+	}
+	s := n / 100
+	if s < 100 {
+		s = 100
+	}
+	return &fedsched.Request{TotalShards: s, ShardSize: 100, Users: users}
+}
+
+func BenchmarkFedLBAPSparse(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			req := populationRequest(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fedsched.FedLBAPSparse.Schedule(req, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// The dense solver on the same instance family, reference point for the
+// sparse speedup (only at sizes where the n×s matrix is tractable).
+func BenchmarkFedLBAPDense(b *testing.B) {
+	for _, n := range []int{1_000, 10_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			req := populationRequest(n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := fedsched.FedLBAP.Schedule(req, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// One full population round — sample, materialize, solve, simulate,
+// reduce — at a fixed cohort of 64 across fleet sizes. Runner
+// construction (archetype profiling) happens outside the timer; the
+// per-round cost must stay flat as n grows, the tentpole O(selected)
+// claim in benchmark form.
+func BenchmarkRoundLoop(b *testing.B) {
+	for _, n := range []int{1_000, 10_000, 100_000, 1_000_000} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			r, err := fedsched.NewPopulationRunner(fedsched.PopulationConfig{
+				Arch:       fedsched.LeNetSmall(1, 16, 16, 10),
+				Population: fedsched.NewDevicePopulation(n, 42),
+				Sampler:    fedsched.NewUniformSampler(n, 64, 42),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := r.Round(i); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

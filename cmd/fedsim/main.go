@@ -2,6 +2,13 @@
 // simulation substrate. Run `fedsim -list` to see experiment ids, `fedsim
 // -exp fig5` for one experiment, or `fedsim -exp all` for everything.
 //
+// Population mode (`fedsim -population 1000000 -cohort 64`) simulates
+// scheduling rounds over a synthetic client fleet far beyond testbed
+// scale: a sampler draws each round's cohort, the sparsified Fed-LBAP
+// solver partitions the round's shards, and only the selected clients
+// are ever materialized — memory stays O(cohort) however large the
+// fleet.
+//
 // The round trace of a run (schedule assignments, solver probes,
 // per-client compute/comm/energy/throttle events, round summaries) can be
 // captured with `-trace out.jsonl` / `-trace-csv out.csv` and summarized
@@ -14,7 +21,11 @@ import (
 	"fmt"
 	"os"
 
+	"fedsched/internal/device"
 	"fedsched/internal/experiments"
+	"fedsched/internal/fl"
+	"fedsched/internal/nn"
+	"fedsched/internal/sample"
 	"fedsched/internal/trace"
 )
 
@@ -30,8 +41,36 @@ func main() {
 		traceCSV = flag.String("trace-csv", "", "write the run's round trace to this CSV file")
 		traceSum = flag.Bool("trace-summary", false, "print a per-round trace summary table to stderr")
 		traceCap = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default 65536; oldest events are dropped beyond it)")
+
+		population  = flag.Int("population", 0, "population mode: simulate scheduling rounds over this many synthetic clients (0 = off)")
+		cohort      = flag.Int("cohort", 64, "population mode: clients sampled per round")
+		popRounds   = flag.Int("pop-rounds", 5, "population mode: rounds to simulate")
+		popShards   = flag.Int("pop-shards", 600, "population mode: data shards scheduled per round")
+		samplerName = flag.String("sampler", "uniform", "population mode: cohort sampler, 'uniform' or 'window' (availability windows)")
+		windowHours = flag.Float64("window-hours", 6, "population mode: availability window length for -sampler window")
+		battery     = flag.Float64("battery-budget", 0, "population mode: per-round battery budget fraction capping each client's shards (0 = uncapped)")
 	)
 	flag.Parse()
+	if *population > 0 {
+		var rec *trace.Recorder
+		if *traceOut != "" || *traceCSV != "" || *traceSum {
+			rec = trace.New(*traceCap)
+		}
+		err := runPopulation(populationOpts{
+			n: *population, cohort: *cohort, rounds: *popRounds, shards: *popShards,
+			sampler: *samplerName, windowHours: *windowHours, battery: *battery,
+			seed: *seed, workers: *workers, rec: rec,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "population: %v\n", err)
+			os.Exit(1)
+		}
+		if err := writeTrace(rec, *traceOut, *traceCSV, *traceSum); err != nil {
+			fmt.Fprintf(os.Stderr, "trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list || *exp == "" {
 		fmt.Println("experiments:")
 		for _, id := range experiments.IDs() {
@@ -73,6 +112,56 @@ func main() {
 		fmt.Fprintf(os.Stderr, "trace: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+type populationOpts struct {
+	n, cohort, rounds, shards int
+	sampler                   string
+	windowHours               float64
+	battery                   float64
+	seed                      int64
+	workers                   int
+	rec                       *trace.Recorder
+}
+
+// runPopulation executes population mode and prints one line per round.
+func runPopulation(o populationOpts) error {
+	pop := device.NewPopulation(o.n, o.seed)
+	var s sample.Sampler
+	switch o.sampler {
+	case "uniform":
+		s = sample.NewUniform(o.n, o.cohort, o.seed)
+	case "window":
+		a := sample.NewAvailability(o.n, o.cohort, o.seed)
+		a.WindowHours = o.windowHours
+		s = a
+	default:
+		return fmt.Errorf("unknown sampler %q (use 'uniform' or 'window')", o.sampler)
+	}
+	cfg := fl.PopulationConfig{
+		Arch:          nn.LeNetSmall(1, 16, 16, 10),
+		Population:    pop,
+		Sampler:       s,
+		Rounds:        o.rounds,
+		TotalShards:   o.shards,
+		Workers:       o.workers,
+		BatteryBudget: o.battery,
+		Trace:         o.rec,
+	}
+	hist, err := fl.SimulatePopulationRounds(cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("population %d, cohort %d (%s), %d shards/round, %d rounds\n",
+		o.n, o.cohort, s.Name(), o.shards, o.rounds)
+	fmt.Printf("%5s %8s %12s %10s %10s %10s %9s %9s\n",
+		"round", "selected", "participants", "samples", "pred(s)", "actual(s)", "energy(J)", "straggler")
+	for _, r := range hist.Rounds {
+		fmt.Printf("%5d %8d %12d %10d %10.2f %10.2f %9.1f %9d\n",
+			r.Round, r.Selected, r.Participants, r.Samples, r.PredictedS, r.MakespanS, r.EnergyJ, r.Straggler)
+	}
+	fmt.Printf("total: %.2f virtual seconds, %.1f J across cohorts\n", hist.TotalSeconds, hist.TotalEnergyJ)
+	return nil
 }
 
 // writeTrace flushes the collected trace to the requested outputs.

@@ -41,6 +41,7 @@ import (
 	"fedsched/internal/nn"
 	"fedsched/internal/privacy"
 	"fedsched/internal/profile"
+	"fedsched/internal/sample"
 	"fedsched/internal/sched"
 	"fedsched/internal/secagg"
 	"fedsched/internal/trace"
@@ -101,6 +102,22 @@ type (
 	TraceRecorder = trace.Recorder
 	// TraceEvent is one round-trace record.
 	TraceEvent = trace.Event
+	// Sampler draws per-round client cohorts (see NewUniformSampler,
+	// NewAvailabilitySampler); RunConfig.Sampler and PopulationConfig
+	// accept one.
+	Sampler = sample.Sampler
+	// DevicePopulation describes a synthetic client fleet by construction
+	// — clients materialize lazily, so fleets of millions cost O(1)
+	// memory until selected.
+	DevicePopulation = device.Population
+	// PopulationConfig drives a population-scale scheduling simulation.
+	PopulationConfig = fl.PopulationConfig
+	// PopulationRunner executes population rounds with O(selected) state.
+	PopulationRunner = fl.PopulationRunner
+	// PopulationRound summarizes one population round.
+	PopulationRound = fl.PopulationRound
+	// PopulationHistory is the result of SimulatePopulation.
+	PopulationHistory = fl.PopulationHistory
 )
 
 // Gossip topologies.
@@ -138,6 +155,21 @@ var (
 	WriteTraceJSONL = trace.WriteJSONL
 	WriteTraceCSV   = trace.WriteCSV
 	CompareTraces   = trace.Compare
+	// NewUniformSampler samples k of n clients uniformly without
+	// replacement each round (seeded, deterministic).
+	NewUniformSampler = sample.NewUniform
+	// NewAvailabilitySampler samples only clients whose daily
+	// availability window covers the round's hour (charging-overnight
+	// phones, §II-A).
+	NewAvailabilitySampler = sample.NewAvailability
+	// NewDevicePopulation builds an n-client synthetic fleet over the
+	// paper's device archetypes with seeded per-client jitter.
+	NewDevicePopulation = device.NewPopulation
+	// NewPopulationRunner validates a PopulationConfig and profiles its
+	// archetypes once, ready for Round calls.
+	NewPopulationRunner = fl.NewPopulationRunner
+	// SimulatePopulation runs a full population-scale simulation.
+	SimulatePopulation = fl.SimulatePopulationRounds
 )
 
 // Architecture constructors (paper scale and reduced scale).
@@ -172,6 +204,11 @@ var (
 	RandomSched sched.Scheduler = sched.Random{}
 	// Equal assigns equal shares (the FedAvg default).
 	Equal sched.Scheduler = sched.Equal{}
+	// FedLBAPSparse is Algorithm 1 re-solved over the implicit cost
+	// matrix: bit-identical assignments to FedLBAP on monotone cost
+	// curves, but sub-second at a million users (the dense matrix would
+	// need 10^10 values). Use it whenever the user count is large.
+	FedLBAPSparse sched.Scheduler = sched.SparseFedLBAP{}
 )
 
 // ShardSize is the paper's data granularity: 100 samples per shard.

@@ -1,0 +1,110 @@
+package device
+
+import "testing"
+
+func TestPopulationDeterministic(t *testing.T) {
+	a := NewPopulation(1000, 42)
+	b := NewPopulation(1000, 42)
+	var da, db Device
+	for id := 0; id < 1000; id += 37 {
+		a.Materialize(id, &da)
+		b.Materialize(id, &db)
+		if da.Model != db.Model || da.TputSmall != db.TputSmall ||
+			da.AmbientC != db.AmbientC || da.EnergyJ != db.EnergyJ {
+			t.Fatalf("client %d materialized differently across identical populations", id)
+		}
+	}
+}
+
+func TestPopulationHeterogeneity(t *testing.T) {
+	p := NewPopulation(4000, 7)
+	counts := make([]int, len(p.Profiles))
+	var d Device
+	minSpeed, maxSpeed := 10.0, 0.0
+	for id := 0; id < 4000; id++ {
+		counts[p.ArchetypeOf(id)]++
+		s := p.SpeedOf(id)
+		if s < minSpeed {
+			minSpeed = s
+		}
+		if s > maxSpeed {
+			maxSpeed = s
+		}
+		if s < 1-p.SpeedJitter || s > 1+p.SpeedJitter {
+			t.Fatalf("client %d speed %f outside jitter band", id, s)
+		}
+		drain := p.drainOf(id)
+		if drain < 0 || drain > p.DrainMax {
+			t.Fatalf("client %d drain %f outside [0, %f]", id, drain, p.DrainMax)
+		}
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Fatalf("archetype %d never drawn over 4000 clients", i)
+		}
+	}
+	if maxSpeed-minSpeed < p.SpeedJitter {
+		t.Fatalf("speed spread [%f, %f] implausibly narrow", minSpeed, maxSpeed)
+	}
+	p.Materialize(0, &d)
+	base := p.Profiles[p.ArchetypeOf(0)]
+	if d.TputSmall == base.TputSmall && d.TputLarge == base.TputLarge && p.SpeedOf(0) != 1 {
+		t.Fatal("Materialize did not apply the speed jitter")
+	}
+}
+
+func TestMaterializeResetsState(t *testing.T) {
+	p := NewPopulation(100, 3)
+	var d Device
+	p.Materialize(5, &d)
+	wantEnergy := d.EnergyJ
+	// Dirty the device, then re-materialize the same client: every field
+	// must come back to the same initial state.
+	d.NowSeconds = 99
+	d.TempC = 80
+	d.Throttles = 7
+	d.EnergyJ += 1234
+	d.bigOffline = true
+	d.throttled = true
+	p.Materialize(5, &d)
+	if d.NowSeconds != 0 || d.Throttles != 0 || d.bigOffline || d.throttled {
+		t.Fatalf("Materialize left stale state: %+v", d)
+	}
+	if d.EnergyJ != wantEnergy {
+		t.Fatalf("EnergyJ = %f, want %f", d.EnergyJ, wantEnergy)
+	}
+	if d.TempC != d.AmbientC {
+		t.Fatalf("TempC = %f, want ambient %f", d.TempC, d.AmbientC)
+	}
+}
+
+func TestMaterializeAllocFree(t *testing.T) {
+	p := NewPopulation(1_000_000, 42)
+	var d Device
+	allocs := testing.AllocsPerRun(100, func() {
+		p.Materialize(123456, &d)
+	})
+	if allocs > 0 {
+		t.Errorf("Materialize allocates %.1f per call", allocs)
+	}
+}
+
+func TestPopulationCheck(t *testing.T) {
+	if err := NewPopulation(10, 1).Check(); err != nil {
+		t.Fatalf("valid population rejected: %v", err)
+	}
+	bad := NewPopulation(0, 1)
+	if err := bad.Check(); err == nil {
+		t.Fatal("N=0 accepted")
+	}
+	bad = NewPopulation(10, 1)
+	bad.Profiles = nil
+	if err := bad.Check(); err == nil {
+		t.Fatal("empty profile set accepted")
+	}
+	bad = NewPopulation(10, 1)
+	bad.SpeedJitter = 1.5
+	if err := bad.Check(); err == nil {
+		t.Fatal("SpeedJitter=1.5 accepted")
+	}
+}

@@ -83,6 +83,22 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 	if len(active) == 0 {
 		return nil, fmt.Errorf("fl: no client holds data")
 	}
+	if err := checkSampler(cfg.Sampler, len(active)); err != nil {
+		return nil, err
+	}
+	if cfg.Sampler != nil {
+		// Async has no synchronous rounds to re-sample at, so the cohort is
+		// drawn once (round 0) and cycles for the whole run.
+		sel := cfg.Sampler.Cohort(0, nil)
+		if len(sel) == 0 {
+			return nil, fmt.Errorf("fl: async sampler drew an empty cohort")
+		}
+		sub := make([]*Client, len(sel))
+		for i, idx := range sel {
+			sub[i] = active[idx]
+		}
+		active = sub
+	}
 
 	rootRNG := rand.New(rand.NewSource(cfg.Seed))
 	global := cfg.Arch.Build(rootRNG)

@@ -23,6 +23,7 @@ import (
 	"fedsched/internal/metrics"
 	"fedsched/internal/network"
 	"fedsched/internal/nn"
+	"fedsched/internal/sample"
 	"fedsched/internal/tensor"
 	"fedsched/internal/trace"
 )
@@ -81,6 +82,17 @@ type Config struct {
 	// LRSchedule, when set, overrides LR per round (see nn.StepDecayLR,
 	// nn.CosineLR).
 	LRSchedule nn.LRSchedule
+	// Sampler, when set, draws each round's cohort from the data-holding
+	// clients: Cohort(round, …) returns indices into that list, and only
+	// those clients train, aggregate and idle that round — the rest of the
+	// fleet does no work at all (their devices stay untouched and their
+	// personal round counters, which drive LRSchedule, do not advance).
+	// Its Population() must equal the data-holding client count. Nil means
+	// every client participates every round, the pre-sampling behavior.
+	// Run (per-round cohorts) and RunGossip (per-round, rounds with < 2
+	// eligible clients idle) honour it; RunAsync draws one cohort at run
+	// start, since it has no synchronous rounds to re-sample at.
+	Sampler sample.Sampler
 	// Trace, when non-nil, receives the run's round-trace: per-client
 	// round events (compute/comm seconds, energy, battery, temperature,
 	// DVFS throttle transitions, assigned samples) and per-round
@@ -168,6 +180,9 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 	if len(active) == 0 {
 		return nil, fmt.Errorf("fl: no client holds data")
 	}
+	if err := checkSampler(cfg.Sampler, len(active)); err != nil {
+		return nil, err
+	}
 
 	rootRNG := rand.New(rand.NewSource(cfg.Seed))
 	global := cfg.Arch.Build(rootRNG)
@@ -180,10 +195,10 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 	modelBytes := cfg.Arch.SizeBytes()
 	hist := &History{}
 	globalW := global.GetWeights()
-	workers := workerCount(cfg.Workers, len(active))
 	crs := make([]ClientRound, len(active))
 	diverged := make([]bool, len(active))
 	clientTrace := attachClientTracers(cfg.Trace, active)
+	selIdent, selBuf, recsSel := samplerScratch(cfg.Sampler, len(active), clientTrace != nil)
 	// sumW is the plaintext aggregation scratch, allocated once and
 	// reused (zeroed) every round instead of cloning per participant.
 	var sumW []*tensor.Tensor
@@ -191,13 +206,38 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 	for round := 0; round < cfg.Rounds; round++ {
 		stats := RoundStats{Round: round}
 
+		// The round's cohort: indices into active. Without a sampler every
+		// client participates; with one, only the drawn cohort does any
+		// work this round.
+		sel := selIdent
+		if cfg.Sampler != nil {
+			sel = cfg.Sampler.Cohort(round, selBuf)
+		}
+		if len(sel) == 0 {
+			// Nobody available (availability-window sampling at a dead
+			// hour): an idle round, recorded as such.
+			stats.TrainLoss = math.NaN()
+			stats.Accuracy = -1
+			emitRoundTrace(cfg.Trace, nil, stats, -1)
+			hist.Rounds = append(hist.Rounds, stats)
+			continue
+		}
+		roundRecs := clientTrace
+		if recsSel != nil {
+			for si, i := range sel {
+				recsSel[si] = clientTrace[i]
+			}
+			roundRecs = recsSel[:len(sel)]
+		}
+
 		// Local training fans out across the worker pool. Every client
 		// owns its network, optimizer, RNG, local shard and simulated
 		// device, so workers never share mutable state; everything
-		// order-sensitive happens after the join, in client order.
-		forEach(workers, len(active), func(i int) {
-			crs[i] = active[i].trainRound(cfg, globalW, modelBytes)
-			diverged[i] = hasNonFinite(active[i].net)
+		// order-sensitive happens after the join, in cohort order.
+		forEach(workerCount(cfg.Workers, len(sel)), len(sel), func(si int) {
+			i := sel[si]
+			crs[si] = active[i].trainRound(cfg, globalW, modelBytes)
+			diverged[si] = hasNonFinite(active[i].net)
 		})
 
 		var (
@@ -207,9 +247,10 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 			sampleCounts []int
 		)
 		straggler := -1
-		for i, c := range active {
-			cr := crs[i]
-			if diverged[i] {
+		for si, i := range sel {
+			c := active[i]
+			cr := crs[si]
+			if diverged[si] {
 				cr.Diverged = true
 				stats.Clients = append(stats.Clients, cr)
 				continue
@@ -241,7 +282,7 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 				// not an error. The global model stands.
 				stats.TrainLoss = math.NaN()
 				stats.Accuracy = -1
-				emitRoundTrace(cfg.Trace, clientTrace, stats, straggler)
+				emitRoundTrace(cfg.Trace, roundRecs, stats, straggler)
 				hist.Rounds = append(hist.Rounds, stats)
 				hist.TotalSeconds += stats.Makespan
 				continue
@@ -284,7 +325,7 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 		} else {
 			stats.Accuracy = -1
 		}
-		emitRoundTrace(cfg.Trace, clientTrace, stats, straggler)
+		emitRoundTrace(cfg.Trace, roundRecs, stats, straggler)
 		hist.Rounds = append(hist.Rounds, stats)
 		hist.TotalSeconds += stats.Makespan
 	}

@@ -66,6 +66,9 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 	if len(active) < 2 {
 		return nil, fmt.Errorf("fl: gossip needs ≥2 clients with data, have %d", len(active))
 	}
+	if err := checkSampler(cfg.Sampler, len(active)); err != nil {
+		return nil, err
+	}
 
 	rootRNG := rand.New(rand.NewSource(cfg.Seed))
 	init := cfg.Arch.Build(rootRNG).GetWeights()
@@ -79,18 +82,36 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 	hist := &GossipHistory{Rounds: cfg.Rounds}
 	pairRNG := rand.New(rand.NewSource(cfg.Seed + 13))
 	modelBytes := cfg.Arch.SizeBytes()
-	workers := workerCount(cfg.Workers, len(active))
 	spans := make([]float64, len(active))
 	crs := make([]ClientRound, len(active))
 	clientTrace := attachClientTracers(cfg.Trace, active)
+	selIdent, selBuf, recsSel := samplerScratch(cfg.Sampler, len(active), clientTrace != nil)
 
 	for round := 0; round < cfg.Rounds; round++ {
+		sel := selIdent
+		if cfg.Sampler != nil {
+			sel = cfg.Sampler.Cohort(round, selBuf)
+		}
+		if len(sel) < 2 {
+			// Gossip needs a pair; a round with fewer eligible clients
+			// idles (no training, no exchange), recorded as empty.
+			emitRoundTrace(cfg.Trace, nil, RoundStats{Round: round, Accuracy: -1, TrainLoss: -1}, -1)
+			continue
+		}
+		roundRecs := clientTrace
+		if recsSel != nil {
+			for si, i := range sel {
+				recsSel[si] = clientTrace[i]
+			}
+			roundRecs = recsSel[:len(sel)]
+		}
+
 		// Local epochs are independent (per-client model, RNG, device),
 		// so they fan out across the worker pool; everything that couples
 		// clients — makespan, idling, pairwise averaging — runs after the
 		// join in deterministic order.
-		forEach(workers, len(active), func(i int) {
-			c := active[i]
+		forEach(workerCount(cfg.Workers, len(sel)), len(sel), func(si int) {
+			c := active[sel[si]]
 			c.opt.Reset()
 			c.Local.Shuffle(c.rng)
 			n := c.Local.Len()
@@ -105,45 +126,46 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 				c.opt.Step(c.net.Params())
 				batches++
 			}
-			spans[i] = 0
-			crs[i] = ClientRound{ClientID: c.ID, Samples: n, TrainLoss: lossSum / float64(batches)}
+			spans[si] = 0
+			crs[si] = ClientRound{ClientID: c.ID, Samples: n, TrainLoss: lossSum / float64(batches)}
 			if c.Device != nil {
 				e0 := c.Device.EnergyJ
 				th0 := c.Device.Throttles
 				comp, _ := c.Device.TrainSamples(cfg.Arch, n, cfg.BatchSize)
 				// Peer exchange: send own model, receive the peer's.
-				spans[i] = comp + c.Link.UploadTime(modelBytes) + c.Link.DownloadTime(modelBytes)
-				crs[i].ComputeS = comp
-				crs[i].CommS = spans[i] - comp
-				crs[i].EnergyJ = c.Device.EnergyJ - e0
-				crs[i].Temperature = c.Device.TempC
-				crs[i].Throttles = c.Device.Throttles - th0
-				crs[i].BatteryFrac = c.Device.BatteryRemaining()
+				spans[si] = comp + c.Link.UploadTime(modelBytes) + c.Link.DownloadTime(modelBytes)
+				crs[si].ComputeS = comp
+				crs[si].CommS = spans[si] - comp
+				crs[si].EnergyJ = c.Device.EnergyJ - e0
+				crs[si].Temperature = c.Device.TempC
+				crs[si].Throttles = c.Device.Throttles - th0
+				crs[si].BatteryFrac = c.Device.BatteryRemaining()
 			}
 		})
 		makespan := 0.0
 		straggler := -1
-		for i, s := range spans {
+		for si, s := range spans[:len(sel)] {
 			if s > makespan {
 				makespan = s
-				straggler = active[i].ID
+				straggler = active[sel[si]].ID
 			}
 		}
-		for i, c := range active {
-			if c.Device != nil {
-				c.Device.Idle(makespan - spans[i])
+		for si, i := range sel {
+			if c := active[i]; c.Device != nil {
+				c.Device.Idle(makespan - spans[si])
 			}
 		}
 		hist.TotalSeconds += makespan
-		emitRoundTrace(cfg.Trace, clientTrace, RoundStats{
-			Round: round, Makespan: makespan, Accuracy: -1, Clients: crs,
-			TrainLoss: meanLoss(crs),
+		emitRoundTrace(cfg.Trace, roundRecs, RoundStats{
+			Round: round, Makespan: makespan, Accuracy: -1, Clients: crs[:len(sel)],
+			TrainLoss: meanLoss(crs[:len(sel)]),
 		}, straggler)
 
 		// Pairwise averaging on the live weights (a's tensors are the
-		// average afterwards; b copies them).
-		for _, pair := range pairings(len(active), round, cfg.Topology, pairRNG) {
-			a, b := active[pair[0]], active[pair[1]]
+		// average afterwards; b copies them). Pairings draw over the
+		// cohort, so the peer graph follows the sampler.
+		for _, pair := range pairings(len(sel), round, cfg.Topology, pairRNG) {
+			a, b := active[sel[pair[0]]], active[sel[pair[1]]]
 			wa := a.net.Weights()
 			accumulateWeighted(wa, b.net.Weights(), 1)
 			scaleWeights(wa, 0.5)

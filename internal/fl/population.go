@@ -1,0 +1,366 @@
+package fl
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fedsched/internal/device"
+	"fedsched/internal/network"
+	"fedsched/internal/nn"
+	"fedsched/internal/profile"
+	"fedsched/internal/sample"
+	"fedsched/internal/sched"
+	"fedsched/internal/trace"
+)
+
+// PopulationConfig drives a population-scale simulation: a Sampler draws
+// a cohort from a lazily-materialized device.Population each round, a
+// Scheduler partitions the round's shards across the cohort, and the
+// device simulator plays the round out. This is the paper's actual
+// regime — millions of battery-powered phones of which a handful
+// participate per round — which the testbed path (tens of devices, all
+// participating) cannot reach.
+type PopulationConfig struct {
+	// Arch is the model being trained (drives compute cost and payload).
+	Arch *nn.Arch
+	// Population describes the client fleet by construction (O(1) memory
+	// regardless of size).
+	Population *device.Population
+	// Sampler selects each round's cohort; its Population() must equal
+	// Population.N.
+	Sampler sample.Sampler
+	// Scheduler partitions TotalShards across the cohort. Nil defaults to
+	// sched.SparseFedLBAP (the population-scale solver).
+	Scheduler sched.Scheduler
+	// Link is the uplink/downlink model shared by all clients (zero value
+	// defaults to WiFi).
+	Link network.Link
+	// Rounds is the number of rounds to simulate (default 1).
+	Rounds int
+	// TotalShards per round (default 600) of ShardSize samples (default
+	// 100 — the paper's granularity).
+	TotalShards int
+	ShardSize   int
+	// BatchSize for the device compute simulation (default 20).
+	BatchSize int
+	// Workers bounds intra-round parallelism, with the same contract as
+	// Config.Workers: results and traces are bit-identical for any value.
+	Workers int
+	// BatteryBudget, when positive, caps each cohort member's shards at
+	// what that fraction of its remaining battery affords per round
+	// (capacity C_j, §VI-A).
+	BatteryBudget float64
+	// Trace, when non-nil, receives solver probes, per-user schedule
+	// events, per-client round events and round summaries — the same
+	// schema as the training engines, bit-identical for any Workers.
+	Trace *trace.Recorder
+}
+
+func (c PopulationConfig) withDefaults() PopulationConfig {
+	if c.Scheduler == nil {
+		c.Scheduler = sched.SparseFedLBAP{}
+	}
+	if c.Link.Name == "" && !(c.Link.UpMbps > 0) {
+		c.Link = network.WiFi()
+	}
+	if c.Rounds <= 0 {
+		c.Rounds = 1
+	}
+	if c.TotalShards <= 0 {
+		c.TotalShards = 600
+	}
+	if c.ShardSize <= 0 {
+		c.ShardSize = 100
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 20
+	}
+	return c
+}
+
+// PopulationRound summarizes one simulated population round.
+type PopulationRound struct {
+	Round int
+	// Selected is the cohort size the sampler drew; Participants how many
+	// of them the scheduler gave non-zero work.
+	Selected     int
+	Participants int
+	// Samples is the total training data simulated this round.
+	Samples int
+	// MakespanS is the realized round time; PredictedS the scheduler's
+	// predicted makespan for its assignment.
+	MakespanS  float64
+	PredictedS float64
+	// Straggler is the client id defining the makespan (−1 if none).
+	Straggler int
+	EnergyJ   float64
+	Throttles int
+}
+
+// PopulationHistory is the result of SimulatePopulationRounds.
+type PopulationHistory struct {
+	Rounds       []PopulationRound
+	TotalSeconds float64
+	TotalEnergyJ float64
+}
+
+// popCost is one cohort slot's scheduler-facing cost curve: the
+// archetype's profiled T(D) line scaled by the client's speed factor
+// (device.Population applies the same factor to throughput, so predicted
+// and simulated time agree to first order). The slot's sched.User binds
+// its Cost to the predict method once; re-pointing the struct each round
+// re-targets the existing closure with zero allocation.
+type popCost struct {
+	dp    *profile.DeviceProfile
+	arch  *nn.Arch
+	speed float64
+}
+
+func (c *popCost) predict(samples int) float64 {
+	return c.dp.Predict(c.arch, samples) / c.speed
+}
+
+// PopulationRunner executes population rounds with O(selected) live
+// state: every slice below is sized by the sampler's maximum cohort, not
+// by Population.N, and per-client state exists only while the client is
+// in the current cohort. Clients are therefore stateless across rounds —
+// each selection re-materializes the device from the population seed
+// (battery drain and thermal state do not persist between selections;
+// persisting them would be O(population) by definition).
+type PopulationRunner struct {
+	cfg PopulationConfig
+
+	// prof[a] is the offline profile of archetype a (shared across
+	// archetypes with the same device model).
+	prof []*profile.DeviceProfile
+
+	rng *rand.Rand // for schedulers that draw (Random baseline)
+
+	comm       float64 // per-round communication seconds (uniform link)
+	modelBytes int
+
+	// Cohort-sized scratch, reused every round.
+	cohort []int
+	devs   []device.Device
+	costs  []popCost
+	users  []sched.User
+	uptrs  []*sched.User
+	crs    []ClientRound
+	spans  []float64
+	rings  []*trace.Recorder // per-slot event rings (tracing only)
+}
+
+// NewPopulationRunner validates the config, profiles the archetypes
+// (once, the expensive part) and allocates the cohort-sized scratch.
+func NewPopulationRunner(cfg PopulationConfig) (*PopulationRunner, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Arch == nil {
+		return nil, fmt.Errorf("fl: population: no architecture")
+	}
+	if cfg.Population == nil {
+		return nil, fmt.Errorf("fl: population: no population")
+	}
+	if err := cfg.Population.Check(); err != nil {
+		return nil, err
+	}
+	if cfg.Sampler == nil {
+		return nil, fmt.Errorf("fl: population: no sampler")
+	}
+	if got, want := cfg.Sampler.Population(), cfg.Population.N; got != want {
+		return nil, fmt.Errorf("fl: population: sampler over %d clients, population has %d", got, want)
+	}
+	k := cfg.Sampler.CohortSize()
+	if k <= 0 {
+		return nil, fmt.Errorf("fl: population: sampler cohort size %d, want > 0", k)
+	}
+
+	r := &PopulationRunner{
+		cfg:        cfg,
+		rng:        rand.New(rand.NewSource(cfg.Population.Seed*0x5deece66d + 11)),
+		modelBytes: cfg.Arch.SizeBytes(),
+		cohort:     make([]int, k),
+		devs:       make([]device.Device, k),
+		costs:      make([]popCost, k),
+		users:      make([]sched.User, k),
+		uptrs:      make([]*sched.User, k),
+		crs:        make([]ClientRound, k),
+		spans:      make([]float64, k),
+	}
+	r.comm = cfg.Link.RoundTripTime(r.modelBytes)
+
+	// One offline profile per archetype, shared between archetypes with
+	// the same model string (BuildTestbed's dedup, without the map range).
+	suite := profile.Suite(cfg.Arch.InC, cfg.Arch.InH, cfg.Arch.InW, cfg.Arch.Classes)
+	r.prof = make([]*profile.DeviceProfile, len(cfg.Population.Profiles))
+	for a, p := range cfg.Population.Profiles {
+		for b := 0; b < a; b++ {
+			if cfg.Population.Profiles[b].Model == p.Model {
+				r.prof[a] = r.prof[b]
+				break
+			}
+		}
+		if r.prof[a] != nil {
+			continue
+		}
+		dp, err := profile.BuildOffline(device.New(p), suite, profile.DefaultSizes)
+		if err != nil {
+			return nil, fmt.Errorf("fl: population: profiling %s: %w", p.Model, err)
+		}
+		// Prewarm the lazy step-2 fit so solver-path Predict calls never
+		// take the fit-and-cache slow path mid-round.
+		dp.Predict(cfg.Arch, cfg.ShardSize)
+		r.prof[a] = dp
+	}
+
+	// Bind each slot's cost closure once; rounds only overwrite the
+	// popCost fields the closure reads through the pointer.
+	for i := range r.users {
+		r.users[i].Cost = r.costs[i].predict
+		r.uptrs[i] = &r.users[i]
+	}
+	if cfg.Trace != nil {
+		r.rings = make([]*trace.Recorder, k)
+		for i := range r.rings {
+			r.rings[i] = trace.New(clientRingCapacity)
+		}
+	}
+	return r, nil
+}
+
+// Round simulates one population round: sample the cohort, materialize
+// its devices, schedule the shards, fan the device simulation out over
+// the worker pool, and reduce the round statistics in one streaming pass
+// post-join. Steady-state heap growth is O(selected) per round — nothing
+// here scales with Population.N — and the emitted trace is bit-identical
+// for any Workers value (per-slot rings drained in slot order after the
+// join).
+//
+// fedlint:hotpath
+func (r *PopulationRunner) Round(round int) (PopulationRound, error) {
+	cfg := r.cfg
+	pr := PopulationRound{Round: round, Straggler: -1}
+
+	r.cohort = cfg.Sampler.Cohort(round, r.cohort)
+	k := len(r.cohort)
+	pr.Selected = k
+	if k == 0 {
+		// Nobody available (availability sampling at a dead hour): an
+		// empty round, recorded as such.
+		emitRoundTrace(cfg.Trace, nil, RoundStats{Round: round, Accuracy: -1, TrainLoss: -1}, -1)
+		return pr, nil
+	}
+
+	// Materialize the cohort into the reusable slots (sequential: the
+	// population hash chains and profile lookups are cheap).
+	for i := 0; i < k; i++ {
+		id := r.cohort[i]
+		d := &r.devs[i]
+		cfg.Population.Materialize(id, d)
+		r.costs[i] = popCost{
+			dp:    r.prof[cfg.Population.ArchetypeOf(id)],
+			arch:  cfg.Arch,
+			speed: cfg.Population.SpeedOf(id),
+		}
+		u := &r.users[i]
+		u.CommSeconds = r.comm
+		u.MeanFreqGHz = d.MeanFreqGHz()
+		u.CapacityShards = 0
+		if cfg.BatteryBudget > 0 {
+			c := d.CapacityShards(cfg.Arch, cfg.ShardSize, cfg.BatteryBudget)
+			if c < 1 {
+				// CapacityShards ≤ 0 would mean "unlimited" to the
+				// scheduler; a nearly-dead phone still carries one shard.
+				c = 1
+			}
+			u.CapacityShards = c
+		}
+		if r.rings != nil {
+			r.rings[i].Reset()
+			d.Tracer = r.rings[i]
+			d.TraceID = id
+		}
+	}
+
+	req := &sched.Request{
+		TotalShards: cfg.TotalShards,
+		ShardSize:   cfg.ShardSize,
+		Users:       r.uptrs[:k],
+		Trace:       cfg.Trace,
+	}
+	asg, err := cfg.Scheduler.Schedule(req, r.rng)
+	if err != nil {
+		return pr, fmt.Errorf("fl: population round %d: %w", round, err)
+	}
+	pr.PredictedS = asg.PredictedMakespan
+
+	// Device simulation fans out across the worker pool; each slot owns
+	// its device, ring and result cells, so workers share nothing.
+	workers := workerCount(cfg.Workers, k)
+	forEach(workers, k, func(i int) {
+		d := &r.devs[i]
+		samples := asg.Shards[i] * cfg.ShardSize
+		r.spans[i] = 0
+		r.crs[i] = ClientRound{
+			ClientID: r.cohort[i], Samples: samples,
+			BatteryFrac: d.BatteryRemaining(), Temperature: d.TempC,
+		}
+		if samples <= 0 {
+			return
+		}
+		e0 := d.EnergyJ
+		th0 := d.Throttles
+		comp, _ := d.TrainSamples(cfg.Arch, samples, cfg.BatchSize)
+		r.spans[i] = comp + r.comm
+		cr := &r.crs[i]
+		cr.ComputeS = comp
+		cr.CommS = r.comm
+		cr.EnergyJ = d.EnergyJ - e0
+		cr.Temperature = d.TempC
+		cr.Throttles = d.Throttles - th0
+		cr.BatteryFrac = d.BatteryRemaining()
+	})
+
+	// Streaming reduction, one pass in slot order after the join.
+	for i := 0; i < k; i++ {
+		cr := &r.crs[i]
+		if cr.Samples > 0 {
+			pr.Participants++
+			pr.Samples += cr.Samples
+		}
+		if r.spans[i] > pr.MakespanS {
+			pr.MakespanS = r.spans[i]
+			pr.Straggler = cr.ClientID
+		}
+		pr.EnergyJ += cr.EnergyJ
+		pr.Throttles += cr.Throttles
+	}
+
+	if cfg.Trace != nil {
+		emitRoundTrace(cfg.Trace, r.rings[:k], RoundStats{
+			Round: round, Makespan: pr.MakespanS, Accuracy: -1, TrainLoss: -1,
+			Clients: r.crs[:k],
+		}, pr.Straggler)
+	}
+	return pr, nil
+}
+
+// SimulatePopulationRounds builds a runner and simulates cfg.Rounds
+// rounds. Same-seed runs are bit-identical (history and trace) for any
+// Workers value.
+func SimulatePopulationRounds(cfg PopulationConfig) (*PopulationHistory, error) {
+	r, err := NewPopulationRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	hist := &PopulationHistory{Rounds: make([]PopulationRound, 0, r.cfg.Rounds)}
+	for round := 0; round < r.cfg.Rounds; round++ {
+		pr, err := r.Round(round)
+		if err != nil {
+			return nil, err
+		}
+		hist.Rounds = append(hist.Rounds, pr)
+		hist.TotalSeconds += pr.MakespanS
+		hist.TotalEnergyJ += pr.EnergyJ
+	}
+	return hist, nil
+}

@@ -1,0 +1,41 @@
+package fl
+
+import (
+	"fmt"
+
+	"fedsched/internal/sample"
+	"fedsched/internal/trace"
+)
+
+// checkSampler validates a Config.Sampler against the data-holding client
+// count (nil samplers are valid: everyone participates).
+func checkSampler(s sample.Sampler, active int) error {
+	if s == nil {
+		return nil
+	}
+	if got := s.Population(); got != active {
+		return fmt.Errorf("fl: sampler over %d clients, run has %d with data", got, active)
+	}
+	if k := s.CohortSize(); k <= 0 {
+		return fmt.Errorf("fl: sampler cohort size %d, want > 0", k)
+	}
+	return nil
+}
+
+// samplerScratch allocates the per-run cohort scratch: the identity
+// cohort used when no sampler is set, the sampler's reusable index
+// buffer, and (when tracing with a sampler) the slice that re-aligns the
+// per-client rings with the cohort each round.
+func samplerScratch(s sample.Sampler, active int, tracing bool) (selIdent, selBuf []int, recsSel []*trace.Recorder) {
+	selIdent = make([]int, active)
+	for i := range selIdent {
+		selIdent[i] = i
+	}
+	if s != nil {
+		selBuf = make([]int, s.CohortSize())
+		if tracing {
+			recsSel = make([]*trace.Recorder, s.CohortSize())
+		}
+	}
+	return selIdent, selBuf, recsSel
+}

@@ -1,0 +1,191 @@
+package sample
+
+import (
+	"testing"
+)
+
+func assertCohortShape(t *testing.T, got []int, n, maxK int) {
+	t.Helper()
+	if len(got) > maxK {
+		t.Fatalf("cohort size %d > max %d", len(got), maxK)
+	}
+	for i, id := range got {
+		if id < 0 || id >= n {
+			t.Fatalf("cohort[%d] = %d out of population [0,%d)", i, id, n)
+		}
+		if i > 0 && got[i-1] >= id {
+			t.Fatalf("cohort not strictly ascending at %d: %d then %d", i, got[i-1], id)
+		}
+	}
+}
+
+func TestUniformDeterministicAndValid(t *testing.T) {
+	const n, k = 10000, 64
+	a := NewUniform(n, k, 42)
+	b := NewUniform(n, k, 42)
+	var bufA, bufB []int
+	for round := 0; round < 10; round++ {
+		ca := a.Cohort(round, bufA)
+		cb := b.Cohort(round, bufB)
+		assertCohortShape(t, ca, n, k)
+		if len(ca) != k {
+			t.Fatalf("round %d: uniform cohort has %d clients, want %d", round, len(ca), k)
+		}
+		if len(ca) != len(cb) {
+			t.Fatalf("round %d: cohort sizes differ: %d vs %d", round, len(ca), len(cb))
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("round %d: same seed produced different cohorts at %d: %d vs %d", round, i, ca[i], cb[i])
+			}
+		}
+		bufA, bufB = ca, cb
+	}
+}
+
+func TestUniformRoundsDiffer(t *testing.T) {
+	u := NewUniform(100000, 32, 7)
+	c0 := append([]int(nil), u.Cohort(0, nil)...)
+	c1 := u.Cohort(1, nil)
+	same := len(c0) == len(c1)
+	if same {
+		for i := range c0 {
+			if c0[i] != c1[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("rounds 0 and 1 selected identical cohorts; stream is not advancing per round")
+	}
+}
+
+func TestUniformSeedsDiffer(t *testing.T) {
+	a := NewUniform(100000, 32, 1).Cohort(0, nil)
+	b := NewUniform(100000, 32, 2).Cohort(0, nil)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds selected identical cohorts")
+	}
+}
+
+func TestUniformWholePopulation(t *testing.T) {
+	u := NewUniform(5, 9, 3)
+	got := u.Cohort(4, nil)
+	if len(got) != 5 {
+		t.Fatalf("k >= n cohort has %d clients, want 5", len(got))
+	}
+	for i, id := range got {
+		if id != i {
+			t.Fatalf("identity cohort[%d] = %d", i, id)
+		}
+	}
+}
+
+func TestUniformStatelessAcrossCalls(t *testing.T) {
+	u := NewUniform(10000, 16, 9)
+	// Calling rounds out of order must not change any round's cohort.
+	r5First := append([]int(nil), u.Cohort(5, nil)...)
+	u.Cohort(0, nil)
+	u.Cohort(3, nil)
+	r5Again := u.Cohort(5, nil)
+	for i := range r5First {
+		if r5First[i] != r5Again[i] {
+			t.Fatal("cohort for round 5 depends on call history")
+		}
+	}
+}
+
+func TestAvailabilityDeterministicAndEligible(t *testing.T) {
+	const n, k = 20000, 50
+	a := NewAvailability(n, k, 11)
+	b := NewAvailability(n, k, 11)
+	var buf []int
+	for round := 0; round < 30; round++ {
+		ca := a.Cohort(round, buf)
+		cb := b.Cohort(round, nil)
+		assertCohortShape(t, ca, n, k)
+		if len(ca) != len(cb) {
+			t.Fatalf("round %d: sizes differ", round)
+		}
+		for i := range ca {
+			if ca[i] != cb[i] {
+				t.Fatalf("round %d: same seed produced different cohorts", round)
+			}
+			if !a.Eligible(ca[i], round) {
+				t.Fatalf("round %d: selected client %d is not eligible", round, ca[i])
+			}
+		}
+		if len(ca) != k {
+			t.Fatalf("round %d: short cohort (%d of %d) at 25%% eligibility over n=%d", round, len(ca), k, n)
+		}
+		buf = ca
+	}
+}
+
+func TestAvailabilityWindowsVary(t *testing.T) {
+	a := NewAvailability(1000, 10, 5)
+	// With 6-hour windows, at any instant roughly a quarter of clients are
+	// eligible — certainly not all or none.
+	eligible := 0
+	for id := 0; id < 1000; id++ {
+		if a.Eligible(id, 0) {
+			eligible++
+		}
+	}
+	if eligible == 0 || eligible == 1000 {
+		t.Fatalf("eligible = %d of 1000; windows are degenerate", eligible)
+	}
+	if eligible < 100 || eligible > 500 {
+		t.Fatalf("eligible = %d of 1000; want roughly 250 for 6/24-hour windows", eligible)
+	}
+}
+
+func TestAvailabilityFullDayWindow(t *testing.T) {
+	a := NewAvailability(100, 10, 5)
+	a.WindowHours = 24
+	for id := 0; id < 100; id++ {
+		if !a.Eligible(id, 3) {
+			t.Fatalf("client %d ineligible under a 24-hour window", id)
+		}
+	}
+}
+
+func TestSamplersAllocFree(t *testing.T) {
+	u := NewUniform(1_000_000, 128, 42)
+	buf := make([]int, u.CohortSize())
+	u.Cohort(0, buf) // warm the scratch set
+	allocs := testing.AllocsPerRun(50, func() {
+		buf = u.Cohort(1, buf)
+	})
+	if allocs > 0 {
+		t.Errorf("Uniform.Cohort allocates %.1f per round in steady state", allocs)
+	}
+
+	av := NewAvailability(1_000_000, 128, 42)
+	buf2 := make([]int, av.CohortSize())
+	av.Cohort(0, buf2)
+	allocs = testing.AllocsPerRun(50, func() {
+		buf2 = av.Cohort(1, buf2[:cap(buf2)])
+	})
+	if allocs > 0 {
+		t.Errorf("Availability.Cohort allocates %.1f per round in steady state", allocs)
+	}
+}
+
+func TestIntnUniformBounds(t *testing.T) {
+	r := rng{state: 123}
+	for i := 0; i < 10000; i++ {
+		v := r.intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("intn(7) = %d", v)
+		}
+	}
+}

@@ -49,6 +49,16 @@ func (FedLBAP) Schedule(req *Request, _ *rand.Rand) (*Assignment, error) {
 		values = append(values, row...)
 	}
 	sort.Float64s(values)
+	// Dedupe in place: repeated thresholds (equal costs across users, or
+	// the running max flattening a noisy row) would only repeat identical
+	// probes — and identical KindSolver trace events — for nothing.
+	uniq := values[:1]
+	for _, v := range values[1:] {
+		if v != uniq[len(uniq)-1] { //fedlint:allow floateq — dedupe of exactly-equal sorted thresholds
+			uniq = append(uniq, v)
+		}
+	}
+	values = uniq
 
 	// feasibleShards returns Σ_j max{k : C[j][k] ≤ c}, capped at s to
 	// avoid overflow on huge capacities.

@@ -1,0 +1,339 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+
+	"fedsched/internal/trace"
+)
+
+// SparseFedLBAP is Algorithm 1 without the dense cost matrix: instead of
+// materializing all n×s values and sorting them (O(ns log ns) time,
+// O(ns) memory — hopeless at n=10^6), it exploits Property 1 directly.
+// Each user's cost curve C[j][·] is nondecreasing, so
+//
+//	g(c) = Σ_j max{k ≤ cap_j : C[j][k] ≤ c}
+//
+// is a monotone step function of the threshold c, evaluable in
+// O(m log s) by per-user binary search over the *implicit* curve — no
+// row storage. The solve is then:
+//
+//  1. Bound: c_hi = the s-th smallest first-shard cost (n > s, found by
+//     deterministic quickselect) or the max full-capacity cost (n ≤ s);
+//     g(c_hi) ≥ s by construction.
+//  2. Prune: users whose first-shard cost exceeds c_hi can never hold a
+//     shard at any feasible threshold ≤ c_hi, so only the ~s survivors
+//     participate from here on — this is what makes the solve
+//     O(n + s·polylog) instead of O(ns).
+//  3. Search: real-valued bisection on (lov, c_hi] maintaining
+//     g(lov) < s, then an exact walk to the smallest *matrix value*
+//     c* > lov with g(c*) ≥ s. The walk restores exactness that plain
+//     bisection cannot give: c* is a value of the implicit matrix, the
+//     same one the dense solver's binary search over sorted values
+//     finds.
+//  4. Assign: hand out per-user feasible maxima under c*, then trim the
+//     overshoot from the largest marginal costs via a replace-top
+//     max-heap (ties broken toward the smallest user index, matching
+//     the dense solver's first-max scan).
+//
+// The result is bit-identical to FedLBAP — same Shards, same
+// PredictedMakespan — whenever the raw cost curves are nondecreasing in
+// k (Property 1 holding naturally, which profiled T_j(D) curves plus a
+// constant comm term satisfy). The dense solver *enforces* the property
+// with a running maximum over the materialized row; the sparse solver
+// samples costs on demand and cannot, so a decreasing cost curve is the
+// one input class where the two may differ.
+type SparseFedLBAP struct{}
+
+// Name implements Scheduler.
+func (SparseFedLBAP) Name() string { return "Fed-LBAP-sparse" }
+
+// Schedule implements Scheduler. Runtime is O(n) to bound and prune plus
+// O(m log s) per threshold probe with m ≈ s survivors and ~60 probes;
+// sub-second at n=10^6, s=10^4 (see BenchmarkFedLBAP). Deterministic
+// (rng is unused). The O(n) float workspaces below are per-solve
+// scratch, freed on return — the population round loop passes
+// cohort-sized requests, so in steady state this stays O(selected).
+//
+// fedlint:hotpath
+func (SparseFedLBAP) Schedule(req *Request, _ *rand.Rand) (*Assignment, error) {
+	if err := req.check(); err != nil {
+		return nil, err
+	}
+	n, s := len(req.Users), req.TotalShards
+
+	// ec is the effective cost the dense solver's running-max row holds
+	// at [j][k-1] when the raw curve is nondecreasing: floored at 0, since
+	// the dense row's running max starts from prev = 0.
+	ec := func(j, k int) float64 {
+		c := userCost(req, j, k)
+		if c < 0 {
+			c = 0
+		}
+		return c
+	}
+
+	caps := make([]int, n)
+	first := make([]float64, n) //fedlint:allow hotalloc — per-solve O(n) scratch, not round-loop state
+	for j := range req.Users {
+		caps[j] = req.Users[j].capacity(s)
+		first[j] = ec(j, 1)
+	}
+
+	// Feasible upper bound c_hi on the optimal threshold.
+	var chi float64
+	if n > s {
+		// s users can each take one shard at the s-th smallest first-shard
+		// cost, so g(c_hi) ≥ s. Quickselect permutes, so work on a copy.
+		scratch := make([]float64, n) //fedlint:allow hotalloc — per-solve O(n) scratch, not round-loop state
+		copy(scratch, first)
+		chi = selectKth(scratch, s-1)
+	} else {
+		// Full capacities are feasible by req.check(): Σ cap_j ≥ s.
+		for j := range caps {
+			if c := ec(j, caps[j]); c > chi {
+				chi = c
+			}
+		}
+	}
+
+	// Prune: a user with first-shard cost above c_hi (beyond float slack)
+	// holds zero shards at every threshold ≤ c_hi, in particular at c*,
+	// and none of its matrix values can be c* (they all exceed c_hi ≥ c*).
+	surv := make([]int, n)
+	m := 0
+	for j := range first {
+		if almostLE(first[j], chi) {
+			surv[m] = j
+			m++
+		}
+	}
+	surv = surv[:m]
+
+	// kmaxAt = max{k ≤ cap_j : C[j][k] ≤ c}, by binary search on the
+	// implicit nondecreasing curve. Never evaluates k = 0.
+	kmaxAt := func(j int, c float64) int {
+		lo, hi := 0, caps[j]
+		for lo < hi {
+			mid := (lo + hi + 1) / 2
+			if almostLE(ec(j, mid), c) {
+				lo = mid
+			} else {
+				hi = mid - 1
+			}
+		}
+		return lo
+	}
+	// feasibleAt = g(c) over the survivors, early-capped at s like the
+	// dense solver's feasibleShards.
+	feasibleAt := func(c float64) int {
+		total := 0
+		for _, j := range surv {
+			total += kmaxAt(j, c)
+			if total >= s {
+				return total
+			}
+		}
+		return total
+	}
+
+	// Real-valued bisection: shrink (lov, hiv] keeping g(lov) < s and
+	// g(hiv) ≥ s. Each probe emits the same KindSolver event the dense
+	// binary search does. ~60 iterations reach float resolution; the
+	// break fires when the midpoint stops making progress.
+	lov, hiv := -1.0, chi
+	iter := 0
+	for i := 0; i < 64; i++ {
+		mid := lov + (hiv-lov)/2
+		if mid <= lov || mid >= hiv {
+			break
+		}
+		feasible := feasibleAt(mid)
+		flag := 0
+		if feasible >= s {
+			flag = 1
+			hiv = mid
+		} else {
+			lov = mid
+		}
+		req.Trace.Emit(trace.Event{
+			Kind: trace.KindSolver, Round: iter, Client: -1,
+			Samples: feasible, Flag: flag, MakespanS: mid,
+		})
+		iter++
+	}
+
+	// Exact walk: advance lov through actual matrix values until g first
+	// reaches s. Every matrix value ≤ lov has g < s (g is monotone), so
+	// the first candidate with g ≥ s is exactly the dense solver's c* =
+	// min{v in the matrix : g(v) ≥ s}. After the bisection above, this
+	// loop almost always terminates on its first candidate.
+	nextValue := func(j int, v float64) (float64, bool) {
+		if !(ec(j, caps[j]) > v) {
+			return 0, false
+		}
+		lo, hi := 1, caps[j]
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if ec(j, mid) > v {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		return ec(j, lo), true
+	}
+	var cstar float64
+	for {
+		cand := math.Inf(1)
+		for _, j := range surv {
+			if v, ok := nextValue(j, lov); ok && v < cand {
+				cand = v
+			}
+		}
+		feasible := feasibleAt(cand)
+		flag := 0
+		if feasible >= s {
+			flag = 1
+		}
+		req.Trace.Emit(trace.Event{
+			Kind: trace.KindSolver, Round: iter, Client: -1,
+			Samples: feasible, Flag: flag, MakespanS: cand,
+		})
+		iter++
+		if feasible >= s {
+			cstar = cand
+			break
+		}
+		lov = cand
+	}
+
+	// Hand out feasible maxima under c*; non-survivors stay at zero, as
+	// they do under the dense solver.
+	shards := make([]int, n)
+	total := 0
+	for _, j := range surv {
+		k := kmaxAt(j, cstar)
+		shards[j] = k
+		total += k
+	}
+
+	// Trim the overshoot: repeatedly decrement the user whose current
+	// marginal cost C[j][k_j] is largest, smallest j on ties — exactly
+	// the dense solver's first-max scan, as a replace-top max-heap so
+	// each step is O(log m) instead of O(n). One entry per user with
+	// k_j > 0; replace-top (never pop-then-push) keeps entries fresh.
+	if total > s {
+		heapBuf := make([]trimEntry, m)
+		hn := 0
+		for _, j := range surv {
+			if shards[j] > 0 {
+				heapBuf[hn] = trimEntry{c: ec(j, shards[j]), j: int32(j)}
+				hn++
+			}
+		}
+		for i := hn/2 - 1; i >= 0; i-- {
+			siftDown(heapBuf, i, hn)
+		}
+		for total > s {
+			j := int(heapBuf[0].j)
+			shards[j]--
+			total--
+			if shards[j] > 0 {
+				heapBuf[0] = trimEntry{c: ec(j, shards[j]), j: int32(j)}
+			} else {
+				hn--
+				heapBuf[0] = heapBuf[hn]
+			}
+			siftDown(heapBuf, 0, hn)
+		}
+	}
+
+	asg := &Assignment{Shards: shards, Algorithm: "Fed-LBAP-sparse"}
+	asg.PredictedMakespan = Makespan(req, asg)
+	emitSchedule(req, asg)
+	return asg, nil
+}
+
+// trimEntry is one heap node of the overshoot trim: user j's current
+// marginal cost.
+type trimEntry struct {
+	c float64
+	j int32
+}
+
+// trimBefore orders the trim heap: largest marginal cost first, smallest
+// user index on ties (the dense solver's strict-> scan keeps the first
+// maximum it meets).
+func trimBefore(a, b trimEntry) bool {
+	if a.c != b.c { //fedlint:allow floateq — exact-equality tie-break; equal costs fall through to the index ordering
+		return a.c > b.c
+	}
+	return a.j < b.j
+}
+
+// siftDown restores the heap property for heapBuf[:hn] from index i.
+//
+// fedlint:hotpath
+func siftDown(heapBuf []trimEntry, i, hn int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		best := i
+		if l < hn && trimBefore(heapBuf[l], heapBuf[best]) {
+			best = l
+		}
+		if r < hn && trimBefore(heapBuf[r], heapBuf[best]) {
+			best = r
+		}
+		if best == i {
+			return
+		}
+		heapBuf[i], heapBuf[best] = heapBuf[best], heapBuf[i]
+		i = best
+	}
+}
+
+// selectKth returns the k-th smallest element (0-indexed) of a,
+// permuting a in place. Hoare-partition quickselect with a
+// median-of-three pivot — deterministic (no random pivots), O(n)
+// expected on the hashed-jitter cost distributions it sees here.
+//
+// fedlint:hotpath
+func selectKth(a []float64, k int) float64 {
+	lo, hi := 0, len(a)-1
+	for lo < hi {
+		mid := lo + (hi-lo)/2
+		if a[mid] < a[lo] {
+			a[mid], a[lo] = a[lo], a[mid]
+		}
+		if a[hi] < a[lo] {
+			a[hi], a[lo] = a[lo], a[hi]
+		}
+		if a[hi] < a[mid] {
+			a[hi], a[mid] = a[mid], a[hi]
+		}
+		pivot := a[mid]
+		i, j := lo, hi
+		for i <= j {
+			for a[i] < pivot {
+				i++
+			}
+			for a[j] > pivot {
+				j--
+			}
+			if i <= j {
+				a[i], a[j] = a[j], a[i]
+				i++
+				j--
+			}
+		}
+		if k <= j {
+			hi = j
+		} else if k >= i {
+			lo = i
+		} else {
+			return a[k]
+		}
+	}
+	return a[k]
+}

@@ -1,0 +1,320 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fedsched/internal/trace"
+)
+
+// assertSparseMatchesDense runs both solvers on (copies of) the request
+// and requires bit-identical shard vectors and predicted makespans.
+func assertSparseMatchesDense(t *testing.T, req *Request) {
+	t.Helper()
+	dense, err := FedLBAP{}.Schedule(req, nil)
+	if err != nil {
+		t.Fatalf("dense: %v", err)
+	}
+	sparse, err := SparseFedLBAP{}.Schedule(req, nil)
+	if err != nil {
+		t.Fatalf("sparse: %v", err)
+	}
+	if len(dense.Shards) != len(sparse.Shards) {
+		t.Fatalf("arity: dense %d, sparse %d", len(dense.Shards), len(sparse.Shards))
+	}
+	for j := range dense.Shards {
+		if dense.Shards[j] != sparse.Shards[j] {
+			t.Fatalf("shards differ at user %d: dense %v, sparse %v", j, dense.Shards, sparse.Shards)
+		}
+	}
+	if dense.PredictedMakespan != sparse.PredictedMakespan {
+		t.Fatalf("predicted makespan differs: dense %v, sparse %v",
+			dense.PredictedMakespan, sparse.PredictedMakespan)
+	}
+	if err := Validate(req, sparse); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseMatchesDenseBasic(t *testing.T) {
+	assertSparseMatchesDense(t, testRequest(30))
+}
+
+func TestSparseMatchesDenseSingleUser(t *testing.T) {
+	assertSparseMatchesDense(t, &Request{
+		TotalShards: 7, ShardSize: 10, Users: []*User{linUser("only", 0, 0.1, 1)},
+	})
+}
+
+func TestSparseMatchesDenseNoisyGuard(t *testing.T) {
+	// The noisy-guard instance from the dense tests: its raw costs are
+	// strictly increasing (1.0, 1.7, 3.0, 3.7, …), so the dense running
+	// max never engages and the sparse solver must agree exactly.
+	noisy := &User{
+		Name: "noisy",
+		Cost: func(n int) float64 {
+			base := 0.01 * float64(n)
+			if (n/100)%2 == 0 {
+				base -= 0.3
+			}
+			return base
+		},
+	}
+	assertSparseMatchesDense(t, &Request{
+		TotalShards: 10, ShardSize: 100, Users: []*User{noisy, linUser("b", 1, 0.02, 0)},
+	})
+}
+
+func TestSparseMatchesDenseConstantCosts(t *testing.T) {
+	// All-equal costs make every threshold and every trim step a tie —
+	// the worst case for tie-break equivalence between the dense
+	// first-max scan and the sparse trim heap.
+	users := make([]*User, 6)
+	for j := range users {
+		users[j] = &User{Name: "flat", Cost: func(int) float64 { return 2.5 }}
+	}
+	assertSparseMatchesDense(t, &Request{TotalShards: 10, ShardSize: 100, Users: users})
+}
+
+func TestSparseMatchesDenseCapacityEdges(t *testing.T) {
+	mk := func() []*User {
+		return []*User{
+			linUser("fast", 1, 0.010, 2),
+			linUser("mid", 2, 0.020, 2),
+			linUser("slow", 3, 0.060, 2),
+			linUser("spare", 1.5, 0.015, 1),
+		}
+	}
+	cases := []struct {
+		name string
+		caps [4]int
+	}{
+		{"unlimited-zero", [4]int{0, 0, 0, 0}},      // capj=0 means unlimited
+		{"unlimited-negative", [4]int{-5, 0, 0, 0}}, // negative likewise
+		{"over-total", [4]int{100, 0, 0, 0}},        // capj > s clamps to s
+		{"tight", [4]int{5, 5, 0, 0}},
+		{"mixed", [4]int{3, 100, -1, 7}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			users := mk()
+			for j := range users {
+				users[j].CapacityShards = c.caps[j]
+			}
+			assertSparseMatchesDense(t, &Request{TotalShards: 30, ShardSize: 100, Users: users})
+		})
+	}
+}
+
+func TestSparseMatchesDenseExactFit(t *testing.T) {
+	// Σ cap_j == TotalShards: everyone is forced to full capacity.
+	users := []*User{
+		linUser("a", 1, 0.01, 1),
+		linUser("b", 2, 0.02, 1),
+		linUser("c", 3, 0.03, 1),
+	}
+	users[0].CapacityShards = 4
+	users[1].CapacityShards = 3
+	users[2].CapacityShards = 3
+	assertSparseMatchesDense(t, &Request{TotalShards: 10, ShardSize: 50, Users: users})
+}
+
+func TestSparseMatchesDenseProperty(t *testing.T) {
+	// The same instance generator as TestFedLBAPMatchesBruteForce: random
+	// linear costs, random comm, ~30% of users capacity-bound.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		users := make([]*User, n)
+		for j := range users {
+			a := rng.Float64() * 5
+			b := 0.005 + rng.Float64()*0.1
+			comm := rng.Float64() * 3
+			users[j] = linUser("u", a, b, comm)
+			if rng.Float64() < 0.3 {
+				users[j].CapacityShards = 3 + rng.Intn(20)
+			}
+		}
+		shards := 5 + rng.Intn(40)
+		req := &Request{TotalShards: shards, ShardSize: 50, Users: users}
+		if req.totalCapacity() < shards {
+			return true // infeasible instance; skip
+		}
+		dense, err := FedLBAP{}.Schedule(req, nil)
+		if err != nil {
+			return false
+		}
+		sparse, err := SparseFedLBAP{}.Schedule(req, nil)
+		if err != nil {
+			return false
+		}
+		for j := range dense.Shards {
+			if dense.Shards[j] != sparse.Shards[j] {
+				return false
+			}
+		}
+		return dense.PredictedMakespan == sparse.PredictedMakespan
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseMatchesBruteForce(t *testing.T) {
+	// Optimality, not just dense-equivalence: the sparse makespan must
+	// match the brute-force DP oracle on small instances.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(4)
+		users := make([]*User, n)
+		for j := range users {
+			users[j] = linUser("u", rng.Float64()*5, 0.005+rng.Float64()*0.1, rng.Float64()*3)
+			if rng.Float64() < 0.3 {
+				users[j].CapacityShards = 3 + rng.Intn(20)
+			}
+		}
+		shards := 5 + rng.Intn(25)
+		req := &Request{TotalShards: shards, ShardSize: 50, Users: users}
+		if req.totalCapacity() < shards {
+			return true
+		}
+		got, err := SparseFedLBAP{}.Schedule(req, nil)
+		if err != nil {
+			return false
+		}
+		if Validate(req, got) != nil {
+			return false
+		}
+		want, err := BruteForce{}.Schedule(req, nil)
+		if err != nil {
+			return false
+		}
+		return math.Abs(Makespan(req, got)-Makespan(req, want)) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// jitterUsers builds n users with deterministic per-user linear costs —
+// the population-scale instance shape, no math/rand in the loop.
+func jitterUsers(n int) []*User {
+	users := make([]*User, n)
+	for j := range users {
+		h := uint64(j)*0x9e3779b97f4a7c15 + 1
+		h = (h ^ (h >> 30)) * 0xbf58476d1ce4e5b9
+		a := 0.5 + float64(h%1000)/500
+		b := 0.005 + float64((h>>10)%1000)/50000
+		users[j] = &User{
+			Cost:        func(samples int) float64 { return a + b*float64(samples) },
+			CommSeconds: 1 + float64((h>>20)%100)/100,
+		}
+	}
+	return users
+}
+
+func TestSparseMatchesDenseMidScale(t *testing.T) {
+	// n=2000, s=200: large enough that pruning and bisection genuinely
+	// engage (n ≫ s), still cheap enough to run the dense solver.
+	req := &Request{TotalShards: 200, ShardSize: 100, Users: jitterUsers(2000)}
+	assertSparseMatchesDense(t, req)
+}
+
+func TestSparseLargeScaleValid(t *testing.T) {
+	// n=50000, s=2000 — dense would need a 10^8-value sort; sparse must
+	// stay fast and produce a valid, capacity-respecting assignment.
+	if testing.Short() {
+		t.Skip("large instance")
+	}
+	users := jitterUsers(50000)
+	for j := 0; j < len(users); j += 3 {
+		users[j].CapacityShards = 1 + j%7
+	}
+	req := &Request{TotalShards: 2000, ShardSize: 100, Users: users}
+	asg, err := SparseFedLBAP{}.Schedule(req, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(req, asg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSparseDeterministicProbes(t *testing.T) {
+	// Two identical solves must emit identical KindSolver probe streams
+	// and identical KindSchedule events.
+	run := func() []trace.Event {
+		rec := trace.New(0)
+		req := &Request{TotalShards: 200, ShardSize: 100, Users: jitterUsers(1000), Trace: rec}
+		if _, err := (SparseFedLBAP{}).Schedule(req, nil); err != nil {
+			t.Fatal(err)
+		}
+		return rec.Events()
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatal("no trace events emitted")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("event counts differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("event %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestDenseProbeDedupe(t *testing.T) {
+	// Duplicate cost values must not inflate the dense solver's probe
+	// count: with two identical users every threshold appears twice in
+	// the raw value list, and the deduped binary search must probe at
+	// most ⌈log2(distinct)⌉ times.
+	users := []*User{
+		linUser("a", 1, 0.01, 1),
+		linUser("a-twin", 1, 0.01, 1),
+	}
+	rec := trace.New(0)
+	req := &Request{TotalShards: 10, ShardSize: 100, Users: users, Trace: rec}
+	if _, err := (FedLBAP{}).Schedule(req, nil); err != nil {
+		t.Fatal(err)
+	}
+	probes := 0
+	for _, e := range rec.Events() {
+		if e.Kind == trace.KindSolver {
+			probes++
+		}
+	}
+	// 10 distinct thresholds (twins collapse) → at most 4 probes; the
+	// pre-dedupe solver needed 5 for the 20-value list.
+	if probes > 4 {
+		t.Fatalf("dense solver probed %d times over 10 distinct values; dedupe not effective", probes)
+	}
+}
+
+func TestSelectKth(t *testing.T) {
+	vals := []float64{5, 1, 4, 1, 5, 9, 2, 6, 5, 3}
+	sorted := []float64{1, 1, 2, 3, 4, 5, 5, 5, 6, 9}
+	for k := range sorted {
+		a := append([]float64(nil), vals...)
+		if got := selectKth(a, k); got != sorted[k] {
+			t.Fatalf("selectKth(%d) = %v, want %v", k, got, sorted[k])
+		}
+	}
+	one := []float64{7}
+	if selectKth(one, 0) != 7 {
+		t.Fatal("single-element select")
+	}
+}
+
+func BenchmarkSparseFedLBAPMid(b *testing.B) {
+	req := &Request{TotalShards: 1000, ShardSize: 100, Users: jitterUsers(10000)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (SparseFedLBAP{}).Schedule(req, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -54,6 +54,11 @@ type Engine struct {
 	// single-threaded, so emission order is deterministic by
 	// construction.
 	Tracer *trace.Recorder
+
+	// free recycles processed Event nodes: a long async run schedules
+	// millions of events but only ever has O(clients) in flight, so
+	// steady-state event throughput allocates nothing.
+	free []*Event
 }
 
 // Processed returns the number of events run so far.
@@ -69,7 +74,16 @@ func (e *Engine) Schedule(at float64, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling at %.3f before now %.3f", at, e.now))
 	}
 	e.nextID++
-	heap.Push(&e.queue, &Event{At: at, Fn: fn, seq: e.nextID})
+	var ev *Event
+	if n := len(e.free); n > 0 {
+		ev = e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		ev.At, ev.Fn, ev.seq = at, fn, e.nextID
+	} else {
+		ev = &Event{At: at, Fn: fn, seq: e.nextID}
+	}
+	heap.Push(&e.queue, ev)
 }
 
 // After enqueues fn to run `delay` seconds from now.
@@ -89,7 +103,13 @@ func (e *Engine) Step() bool {
 	e.now = ev.At
 	e.processed++
 	e.Tracer.Emit(trace.Event{Kind: trace.KindSimStep, Round: int(ev.seq), Client: -1, AtS: ev.At})
-	ev.Fn()
+	// Recycle before running the callback: ev is off the queue, and fn is
+	// saved locally, so fn itself may Schedule and immediately reuse the
+	// node.
+	fn := ev.Fn
+	ev.Fn = nil
+	e.free = append(e.free, ev)
+	fn()
 	return true
 }
 

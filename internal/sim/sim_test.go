@@ -121,3 +121,45 @@ func TestOrderingProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestEventPoolSteadyStateAllocFree(t *testing.T) {
+	var e Engine
+	fn := func() {}
+	// Warm the free list, then a schedule+step cycle must reuse nodes.
+	e.Schedule(1, fn)
+	e.Step()
+	at := 2.0
+	allocs := testing.AllocsPerRun(200, func() {
+		e.Schedule(at, fn)
+		e.Step()
+		at++
+	})
+	if allocs > 0 {
+		t.Errorf("schedule+step allocates %.1f per event at steady state", allocs)
+	}
+}
+
+func TestEventPoolReuseKeepsOrdering(t *testing.T) {
+	// A callback that schedules during Step may reuse the just-recycled
+	// node; ordering and payloads must be unaffected.
+	var e Engine
+	var got []float64
+	var chain func()
+	chain = func() {
+		got = append(got, e.Now())
+		if e.Now() < 5 {
+			e.After(1, chain)
+		}
+	}
+	e.Schedule(1, chain)
+	e.Run()
+	want := []float64{1, 2, 3, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("ran %d events, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("event %d at %v, want %v", i, got[i], want[i])
+		}
+	}
+}

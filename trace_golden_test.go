@@ -130,12 +130,41 @@ func baselineGoldenTrace(t *testing.T) []trace.Event {
 	return rec.Events()
 }
 
+// populationGoldenTrace: two population-scale rounds over a 1M-client
+// fleet — uniform 16-client cohorts, the sparse Fed-LBAP solver, lazy
+// device materialization. Pins the whole O(selected) pipeline: solver
+// probes over the implicit cost matrix, the cohort's schedule, per-client
+// rounds and round summaries. Recorded with Workers: -1 (sequential);
+// the runner contract makes any other worker count produce identical
+// bytes.
+func populationGoldenTrace(t *testing.T) []trace.Event {
+	t.Helper()
+	rec := NewTraceRecorder(0)
+	hist, err := SimulatePopulation(fl.PopulationConfig{
+		Arch:        LeNetSmall(1, 16, 16, 10),
+		Population:  NewDevicePopulation(1_000_000, 42),
+		Sampler:     NewUniformSampler(1_000_000, 16, 42),
+		Rounds:      2,
+		TotalShards: 120,
+		Workers:     -1,
+		Trace:       rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hist.Rounds) != 2 || hist.Rounds[0].Participants == 0 {
+		t.Fatalf("implausible population history: %+v", hist.Rounds)
+	}
+	return rec.Events()
+}
+
 // TestGoldenTrace pins the full observability pipeline: fixed-seed runs
-// of the Fed-LBAP, Fed-MinAvg and Equal-baseline scenarios must keep
-// producing the traces recorded under testdata/trace. Comparison is
-// field-by-field under DefaultTolerances (not byte equality), so the
-// goldens survive libm-level float drift across toolchains while still
-// catching any schema, ordering, count or semantic change.
+// of the Fed-LBAP, Fed-MinAvg, Equal-baseline and 1M-client population
+// scenarios must keep producing the traces recorded under
+// testdata/trace. Comparison is field-by-field under DefaultTolerances
+// (not byte equality), so the goldens survive libm-level float drift
+// across toolchains while still catching any schema, ordering, count or
+// semantic change.
 func TestGoldenTrace(t *testing.T) {
 	cases := []struct {
 		name  string
@@ -144,6 +173,7 @@ func TestGoldenTrace(t *testing.T) {
 		{"lbap", lbapGoldenTrace},
 		{"minavg", minavgGoldenTrace},
 		{"baseline", baselineGoldenTrace},
+		{"population", populationGoldenTrace},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
