@@ -12,7 +12,8 @@ GO ?= go
 BENCH_MAX_SLOWDOWN ?= 1.15
 
 .PHONY: build test vet lint fmt-check check race race-tensor trace-golden \
-	bench bench-parallel bench-gemm bench-sched bench-ci bench-regression \
+	bench bench-parallel bench-gemm bench-gemm-f32 bench-sched bench-ci \
+	bench-regression \
 	population-smoke
 
 build:
@@ -65,6 +66,14 @@ bench-parallel:
 bench-gemm:
 	$(GO) test -run '^$$' -bench 'BenchmarkGEMM' -benchtime=2s ./internal/tensor/ .
 
+# The float32 kernels: blocked f32 shapes, the register-tile bake-off and
+# the implicit-GEMM vs im2col convolution pairs behind BENCH_gemm.json's
+# f32 sections.
+bench-gemm-f32:
+	$(GO) test -run '^$$' \
+		-bench 'GEMMBlockedF32|GEMMF32Tile|BenchmarkConv(Im2Col|Implicit)|GEMMF32_(LeNet|VGG6)$$' \
+		-benchtime=2s -benchmem ./internal/tensor/ .
+
 # Population-scale scheduling: the sparse/dense solver pair and the
 # O(selected) round loop at 10^3..10^6 clients, behind BENCH_sched.json.
 bench-sched:
@@ -75,7 +84,7 @@ bench-sched:
 # feeds bench-regression and is uploaded as a CI artifact.
 bench-ci:
 	$(GO) test -run '^$$' \
-		-bench 'GEMM_(LeNet|VGG6)$$|Run(Serial|Parallel)$$|FedLBAPSparse|BenchmarkRoundLoop' \
+		-bench 'GEMM(F32)?_(LeNet|VGG6)$$|Run(Serial|Parallel)$$|FedLBAPSparse|BenchmarkRoundLoop' \
 		-benchtime=3x -count=5 . | tee bench-results.txt
 
 # Compare the bench-ci output against the recorded baselines; benchdiff

@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"runtime"
 	"testing"
+	"unsafe"
 
 	"fedsched"
 	"fedsched/internal/data"
@@ -147,16 +148,17 @@ func BenchmarkRunParallel(b *testing.B) { benchFederated(b, 0) }
 // and weight-gradient Aᵀ·B. `make bench-gemm` runs these plus the
 // naive-vs-blocked kernel pair in internal/tensor; BENCH_gemm.json holds
 // recorded numbers.
-func benchGEMMLayer(b *testing.B, m, k, n int) {
+func benchGEMMLayer[T tensor.Float](b *testing.B, m, k, n int) {
 	b.Helper()
 	rng := rand.New(rand.NewSource(1))
-	a := tensor.Randn(rng, 1, m, k) // activations / im2col rows
-	w := tensor.Randn(rng, 1, n, k) // weights (out, in)
-	g := tensor.Randn(rng, 1, m, n) // output gradient
-	fwd := tensor.New(m, n)
-	dx := tensor.New(m, k)
-	dw := tensor.New(n, k)
-	b.SetBytes(int64(8 * 3 * (m*k + n*k + m*n)))
+	a := tensor.RandnOf[T](rng, 1, m, k) // activations / im2col rows
+	w := tensor.RandnOf[T](rng, 1, n, k) // weights (out, in)
+	g := tensor.RandnOf[T](rng, 1, m, n) // output gradient
+	fwd := tensor.NewOf[T](m, n)
+	dx := tensor.NewOf[T](m, k)
+	dw := tensor.NewOf[T](n, k)
+	var elem T
+	b.SetBytes(int64(unsafe.Sizeof(elem)) * int64(3*(m*k+n*k+m*n)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tensor.MatMulTransBInto(fwd, a, w) // forward
@@ -166,10 +168,15 @@ func benchGEMMLayer(b *testing.B, m, k, n int) {
 }
 
 // LeNet conv2 at 28×28 input: m = 20·8·8 im2col rows, k = 20·5·5, n = 40.
-func BenchmarkGEMM_LeNet(b *testing.B) { benchGEMMLayer(b, 1280, 500, 40) }
+func BenchmarkGEMM_LeNet(b *testing.B) { benchGEMMLayer[float64](b, 1280, 500, 40) }
 
 // VGG6 block-3 conv at 28×28 input: m = 20·7·7, k = 80·3·3, n = 96.
-func BenchmarkGEMM_VGG6(b *testing.B) { benchGEMMLayer(b, 980, 720, 96) }
+func BenchmarkGEMM_VGG6(b *testing.B) { benchGEMMLayer[float64](b, 980, 720, 96) }
+
+// The same triples on the float32 kernels (SIMD micro-kernel on amd64,
+// half the memory traffic); BENCH_gemm.json records both widths.
+func BenchmarkGEMMF32_LeNet(b *testing.B) { benchGEMMLayer[float32](b, 1280, 500, 40) }
+func BenchmarkGEMMF32_VGG6(b *testing.B)  { benchGEMMLayer[float32](b, 980, 720, 96) }
 
 // Extension experiments (ablations and optional directions).
 func BenchmarkExtEnergy(b *testing.B)      { benchExperiment(b, "ext-energy") }

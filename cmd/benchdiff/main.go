@@ -26,6 +26,7 @@ import (
 	"math"
 	"os"
 	"regexp"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -96,6 +97,39 @@ func walkBaseline(v interface{}, benchKey string, dst map[string]float64) {
 			walkBaseline(child, benchKey, dst)
 		}
 	}
+}
+
+// hardware is the structured machine record in a BENCH_*.json baseline.
+// Absolute ns/op baselines only transfer between machines of the same
+// shape, so benchdiff surfaces a mismatch as a warning (never a gate —
+// the geomean threshold still decides pass/fail).
+type hardware struct {
+	Nproc      int    `json:"nproc"`
+	CPUModel   string `json:"cpu_model"`
+	Gomaxprocs int    `json:"gomaxprocs"`
+}
+
+// extractHardware returns the baseline's top-level "hardware" object, or
+// nil when the file predates the field.
+func extractHardware(doc []byte) (*hardware, error) {
+	var root struct {
+		Hardware *hardware `json:"hardware"`
+	}
+	if err := json.Unmarshal(doc, &root); err != nil {
+		return nil, err
+	}
+	return root.Hardware, nil
+}
+
+// hardwareWarning compares a baseline's recorded machine against this one
+// and returns a human-readable warning, or "" when they match (or the
+// baseline carries no record).
+func hardwareWarning(path string, hw *hardware, nproc int) string {
+	if hw == nil || hw.Nproc == 0 || hw.Nproc == nproc {
+		return ""
+	}
+	return fmt.Sprintf("warning: %s was recorded on a %d-core machine (%s); this machine has %d cores — absolute ns/op ratios may not be meaningful, consider re-recording baselines",
+		path, hw.Nproc, hw.CPUModel, nproc)
 }
 
 // row is one benchmark present in both the current run and a baseline.
@@ -170,6 +204,11 @@ func main() {
 		}
 		if err := extractBaselines(doc, baseline); err != nil {
 			fatalf("benchdiff: %s: %v", path, err)
+		}
+		if hw, err := extractHardware(doc); err == nil {
+			if w := hardwareWarning(path, hw, runtime.NumCPU()); w != "" {
+				fmt.Fprintln(os.Stderr, w)
+			}
 		}
 	}
 

@@ -140,6 +140,57 @@ func TestCompareGate(t *testing.T) {
 	}
 }
 
+func TestExtractHardware(t *testing.T) {
+	doc := []byte(`{"hardware": {"nproc": 1, "cpu_model": "Intel(R) Xeon(R) Processor @ 2.10GHz", "gomaxprocs": 1}, "results": {}}`)
+	hw, err := extractHardware(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hw == nil || hw.Nproc != 1 || hw.Gomaxprocs != 1 || hw.CPUModel == "" {
+		t.Fatalf("extracted %+v", hw)
+	}
+	hw, err = extractHardware([]byte(`{"results": {}}`))
+	if err != nil || hw != nil {
+		t.Fatalf("legacy baseline without hardware: got %+v, %v", hw, err)
+	}
+}
+
+func TestHardwareWarning(t *testing.T) {
+	hw := &hardware{Nproc: 1, CPUModel: "Xeon", Gomaxprocs: 1}
+	if w := hardwareWarning("BENCH_x.json", hw, 1); w != "" {
+		t.Fatalf("matching core count warned: %q", w)
+	}
+	if w := hardwareWarning("BENCH_x.json", hw, 8); w == "" {
+		t.Fatal("core-count mismatch produced no warning")
+	} else if !strings.Contains(w, "BENCH_x.json") || !strings.Contains(w, "8 cores") {
+		t.Fatalf("warning lacks context: %q", w)
+	}
+	if w := hardwareWarning("BENCH_x.json", nil, 8); w != "" {
+		t.Fatalf("nil hardware warned: %q", w)
+	}
+	if w := hardwareWarning("BENCH_x.json", &hardware{}, 8); w != "" {
+		t.Fatalf("zero-value hardware warned: %q", w)
+	}
+}
+
+// TestRepoBaselinesCarryHardware pins the satellite invariant: every
+// BENCH_*.json in the repo records the machine it was measured on.
+func TestRepoBaselinesCarryHardware(t *testing.T) {
+	for _, path := range []string{"../../BENCH_gemm.json", "../../BENCH_fl_parallel.json", "../../BENCH_sched.json"} {
+		doc, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hw, err := extractHardware(doc)
+		if err != nil {
+			t.Fatalf("%s: %v", path, err)
+		}
+		if hw == nil || hw.Nproc == 0 || hw.CPUModel == "" || hw.Gomaxprocs == 0 {
+			t.Errorf("%s: missing or incomplete hardware record: %+v", path, hw)
+		}
+	}
+}
+
 func TestCompareRowsSorted(t *testing.T) {
 	baseline := map[string]float64{"B": 1, "A": 1, "C": 1}
 	rows, _ := compare(map[string]float64{"C": 1, "A": 1, "B": 1}, baseline)

@@ -31,16 +31,17 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "", "experiment id (fig1..fig7, tab2..tab5) or 'all'")
-		quick    = flag.Bool("quick", false, "reduced workloads for a fast pass")
-		seed     = flag.Int64("seed", 1, "random seed")
-		list     = flag.Bool("list", false, "list experiment ids")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
-		workers  = flag.Int("workers", 0, "concurrent client training per round (0 = GOMAXPROCS, <0 = sequential); results are seed-identical for any value")
-		traceOut = flag.String("trace", "", "write the run's round trace to this JSONL file")
-		traceCSV = flag.String("trace-csv", "", "write the run's round trace to this CSV file")
-		traceSum = flag.Bool("trace-summary", false, "print a per-round trace summary table to stderr")
-		traceCap = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default 65536; oldest events are dropped beyond it)")
+		exp       = flag.String("exp", "", "experiment id (fig1..fig7, tab2..tab5) or 'all'")
+		quick     = flag.Bool("quick", false, "reduced workloads for a fast pass")
+		seed      = flag.Int64("seed", 1, "random seed")
+		list      = flag.Bool("list", false, "list experiment ids")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers   = flag.Int("workers", 0, "concurrent client training per round (0 = GOMAXPROCS, <0 = sequential); results are seed-identical for any value")
+		precision = flag.String("precision", "f64", "client training precision for accuracy experiments: f32 | f64")
+		traceOut  = flag.String("trace", "", "write the run's round trace to this JSONL file")
+		traceCSV  = flag.String("trace-csv", "", "write the run's round trace to this CSV file")
+		traceSum  = flag.Bool("trace-summary", false, "print a per-round trace summary table to stderr")
+		traceCap  = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default 65536; oldest events are dropped beyond it)")
 
 		population  = flag.Int("population", 0, "population mode: simulate scheduling rounds over this many synthetic clients (0 = off)")
 		cohort      = flag.Int("cohort", 64, "population mode: clients sampled per round")
@@ -81,7 +82,12 @@ func main() {
 		}
 		return
 	}
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers}
+	prec, err := nn.ParsePrecision(*precision)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(2)
+	}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Workers: *workers, Precision: prec}
 	if *traceOut != "" || *traceCSV != "" || *traceSum {
 		opts.Trace = trace.New(*traceCap)
 	}

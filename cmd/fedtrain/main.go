@@ -31,6 +31,7 @@ func main() {
 		lr        = flag.Float64("lr", 0.02, "learning rate")
 		momentum  = flag.Float64("momentum", 0.9, "SGD momentum")
 		seed      = flag.Int64("seed", 1, "random seed")
+		precision = flag.String("precision", "f64", "client training precision: f32 | f64 (server aggregation is always float64)")
 		classes   = flag.Int("classes-per-user", 0, "non-IID: classes per user (0 = IID)")
 		alpha     = flag.Float64("alpha", 1000, "Fed-MinAvg accuracy-cost weight")
 		beta      = flag.Float64("beta", 2, "Fed-MinAvg unseen-class reward")
@@ -44,6 +45,11 @@ func main() {
 		traceCap  = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default 65536)")
 	)
 	flag.Parse()
+
+	prec, err := fedsched.ParsePrecision(*precision)
+	if err != nil {
+		fatalf("%v", err)
+	}
 
 	var rec *trace.Recorder
 	if *traceOut != "" || *traceCSV != "" || *traceSum {
@@ -135,8 +141,8 @@ func main() {
 
 	hist, err := tb.RunFederated(fedsched.RunConfig{
 		Arch: arch, Rounds: *rounds, LR: *lr, Momentum: *momentum,
-		Seed: *seed, EvalEvery: 1, SecureAgg: *secure, DeadlineSeconds: *deadline,
-		Workers: *workers, Trace: rec,
+		Seed: *seed, Precision: prec, EvalEvery: 1, SecureAgg: *secure,
+		DeadlineSeconds: *deadline, Workers: *workers, Trace: rec,
 	}, train, part, test)
 	check(err)
 

@@ -77,6 +77,9 @@ type (
 	Client = fl.Client
 	// RunConfig drives a federated run.
 	RunConfig = fl.Config
+	// Precision selects the client training element type (F64 or F32);
+	// server-side aggregation stays float64 either way.
+	Precision = nn.Precision
 	// History is the result of a federated run.
 	History = fl.History
 	// AsyncConfig drives asynchronous (staleness-weighted) aggregation.
@@ -125,6 +128,19 @@ const (
 	Ring        = fl.Ring
 	RandomPairs = fl.RandomPairs
 )
+
+// Client training precisions.
+const (
+	// F64 trains clients in float64 (the default).
+	F64 = nn.F64
+	// F32 trains clients in float32 (half the memory traffic, SIMD f32
+	// kernels); aggregation still accumulates in float64.
+	F32 = nn.F32
+)
+
+// ParsePrecision maps flag spellings (f32/float32/fp32, f64/…, "") to a
+// Precision.
+var ParsePrecision = nn.ParsePrecision
 
 // Federated run modes and substrate constructors.
 var (

@@ -33,6 +33,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig1", "fig2", "fig3a", "fig3b", "fig4", "fig5", "fig6", "fig7",
 		"tab2", "tab3", "tab4", "tab5",
 		"ext-energy", "ext-async", "ext-secagg", "ext-gossip", "ext-dp", "ext-granularity", "ext-dropout", "ext-adaptive",
+		"ext-precision",
 	}
 	got := IDs()
 	if len(got) != len(want) {

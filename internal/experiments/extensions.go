@@ -99,7 +99,8 @@ func ExtAsync(o Options) (*Report, error) {
 	}
 	cfg := fl.Config{
 		Arch: smallArch("LeNet", train.C), Rounds: rounds, BatchSize: 20,
-		LR: 0.02, Momentum: 0.9, Seed: o.Seed, Workers: o.Workers, Trace: o.Trace,
+		LR: 0.02, Momentum: 0.9, Seed: o.Seed, Precision: o.Precision,
+		Workers: o.Workers, Trace: o.Trace,
 	}
 	syncClients, err := mkClients()
 	if err != nil {
@@ -152,8 +153,8 @@ func ExtSecAgg(o Options) (*Report, error) {
 		}
 		cfg := fl.Config{
 			Arch: smallArch("LeNet", train.C), Rounds: rounds, BatchSize: 20,
-			LR: 0.02, Momentum: 0.9, Seed: o.Seed, SecureAgg: secure, Workers: o.Workers,
-			Trace: o.Trace,
+			LR: 0.02, Momentum: 0.9, Seed: o.Seed, SecureAgg: secure,
+			Precision: o.Precision, Workers: o.Workers, Trace: o.Trace,
 		}
 		start := time.Now()
 		hist, err := fl.Run(cfg, clients, test)
@@ -182,7 +183,8 @@ func ExtGossip(o Options) (*Report, error) {
 	train, test := data.TrainTest(data.SMNISTConfig(0, o.Seed+85), trainN, testN)
 	cfg := fl.Config{
 		Arch: smallArch("LeNet", train.C), Rounds: rounds, BatchSize: 20,
-		LR: 0.02, Momentum: 0.9, Seed: o.Seed, Workers: o.Workers, Trace: o.Trace,
+		LR: 0.02, Momentum: 0.9, Seed: o.Seed, Precision: o.Precision,
+		Workers: o.Workers, Trace: o.Trace,
 	}
 	mkClients := func() ([]*fl.Client, error) {
 		part := data.IIDEqual(train, users, rand.New(rand.NewSource(o.Seed)))

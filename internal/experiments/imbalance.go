@@ -52,6 +52,7 @@ func runFLHist(o Options, arch *nn.Arch, train, test *data.Dataset, part data.Pa
 		LR:        0.02,
 		Momentum:  0.9,
 		Seed:      o.Seed + 1,
+		Precision: o.Precision,
 		Workers:   o.Workers,
 		Trace:     o.Trace,
 	}
@@ -72,7 +73,8 @@ func Fig2(o Options) (*Report, error) {
 		}
 		cfg := fl.Config{
 			Arch: smallArch("LeNet", train.C), Rounds: rounds, BatchSize: 20,
-			LR: 0.02, Momentum: 0.9, Seed: o.Seed + 2, Workers: o.Workers,
+			LR: 0.02, Momentum: 0.9, Seed: o.Seed + 2, Precision: o.Precision,
+			Workers: o.Workers,
 		}
 		central, err := fl.Centralized(cfg, train, test)
 		if err != nil {

@@ -10,6 +10,7 @@ import (
 	"sort"
 	"strings"
 
+	"fedsched/internal/nn"
 	"fedsched/internal/trace"
 )
 
@@ -21,6 +22,10 @@ type Options struct {
 	Quick bool
 	// Seed drives all randomness.
 	Seed int64
+	// Precision selects the client training element type (nn.F64 default,
+	// nn.F32 for the float32 kernels); server aggregation stays float64
+	// either way. `fedsim -precision f32` plumbs it.
+	Precision nn.Precision
 	// Workers bounds concurrent client training inside the federated
 	// engines (fl.Config.Workers): 0 = GOMAXPROCS, negative = strictly
 	// sequential. Results are identical for any value at a fixed Seed.

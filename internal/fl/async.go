@@ -106,8 +106,7 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 	version := 0
 
 	for _, c := range active {
-		c.net = cfg.Arch.Build(rootRNG)
-		c.opt = nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+		c.net = nn.NewTrainer(cfg.Precision, cfg.Arch, rootRNG, cfg.LR, cfg.Momentum)
 		c.rng = rand.New(rand.NewSource(cfg.Seed + int64(c.ID)*7919 + 1))
 		if cfg.Trace != nil && c.Device != nil {
 			// Device work (TrainSamples/Idle) runs on the event-loop
@@ -144,7 +143,7 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 	// cycle.
 	localEpoch := func(c *Client, pulled []*tensor.Tensor) {
 		c.net.SetWeights(pulled)
-		c.opt.Reset()
+		c.net.ResetOpt()
 		c.Local.Shuffle(c.rng)
 		n := c.Local.Len()
 		for i := 0; i < n; i += cfg.BatchSize {
@@ -154,7 +153,7 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 			}
 			x, y := c.Local.Batch(i, end)
 			c.net.TrainBatch(x, y)
-			c.opt.Step(c.net.Params())
+			c.net.Step()
 		}
 	}
 

@@ -36,8 +36,7 @@ type Client struct {
 	Link   network.Link
 	Local  *data.Dataset // local training data (nil or empty → skipped)
 
-	net   *nn.Network
-	opt   *nn.SGD
+	net   nn.Trainer
 	rng   *rand.Rand
 	round int // rounds this client has trained (drives LR schedules)
 }
@@ -57,6 +56,13 @@ type Config struct {
 	Momentum  float64
 	// Seed makes the whole run deterministic (init, shuffles, dropout).
 	Seed int64
+	// Precision selects the element type clients train in (nn.F64, the
+	// default, or nn.F32). Server-side state — the global model, the
+	// FedAvg reduction, evaluation — stays float64 either way, so the
+	// deterministic post-join reduction guarantees are precision-
+	// independent: histories are bit-identical for any Workers value at
+	// a fixed (Seed, Precision).
+	Precision nn.Precision
 	// Workers bounds how many clients train concurrently within a round
 	// (all three engines honour it). Zero means runtime.GOMAXPROCS(0);
 	// negative values clamp to 1 (strictly sequential, no goroutines);
@@ -187,8 +193,8 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 	rootRNG := rand.New(rand.NewSource(cfg.Seed))
 	global := cfg.Arch.Build(rootRNG)
 	for _, c := range clients {
-		c.net = cfg.Arch.Build(rootRNG) // geometry clone; weights overwritten
-		c.opt = nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+		// Geometry clone at the configured precision; weights overwritten.
+		c.net = nn.NewTrainer(cfg.Precision, cfg.Arch, rootRNG, cfg.LR, cfg.Momentum)
 		c.rng = rand.New(rand.NewSource(cfg.Seed + int64(c.ID)*7919 + 1))
 	}
 
@@ -237,7 +243,7 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 		forEach(workerCount(cfg.Workers, len(sel)), len(sel), func(si int) {
 			i := sel[si]
 			crs[si] = active[i].trainRound(cfg, globalW, modelBytes)
-			diverged[si] = hasNonFinite(active[i].net)
+			diverged[si] = active[i].net.HasNonFinite()
 		})
 
 		var (
@@ -346,6 +352,20 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 	return hist, nil
 }
 
+// hasNonFinite reports whether any weight of the float64 network is NaN or
+// ±Inf. Clients check their own models through Trainer.HasNonFinite; this
+// covers server-side networks (the global model).
+func hasNonFinite(net *nn.Network) bool {
+	for _, p := range net.Params() {
+		for _, v := range p.W.Data() {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
 func clientIndex(clients []*Client, id int) int {
 	for i, c := range clients {
 		if c.ID == id {
@@ -360,9 +380,9 @@ func clientIndex(clients []*Client, id int) int {
 // fedlint:hotpath
 func (c *Client) trainRound(cfg Config, globalW []*tensor.Tensor, modelBytes int) ClientRound {
 	c.net.SetWeights(globalW)
-	c.opt.Reset()
+	c.net.ResetOpt()
 	if cfg.LRSchedule != nil {
-		c.opt.LR = cfg.LRSchedule(c.round)
+		c.net.SetLR(cfg.LRSchedule(c.round))
 	}
 	c.round++
 	c.Local.Shuffle(c.rng)
@@ -377,7 +397,7 @@ func (c *Client) trainRound(cfg Config, globalW []*tensor.Tensor, modelBytes int
 		}
 		x, y := c.Local.Batch(i, end)
 		lossSum += c.net.TrainBatch(x, y)
-		c.opt.Step(c.net.Params())
+		c.net.Step()
 		batches++
 	}
 
@@ -457,16 +477,4 @@ func Evaluate(net *nn.Network, test *data.Dataset, batch int) float64 {
 		total += h
 	}
 	return float64(total) / float64(n)
-}
-
-// hasNonFinite reports whether any weight of the network is NaN or ±Inf.
-func hasNonFinite(net *nn.Network) bool {
-	for _, p := range net.Params() {
-		for _, v := range p.W.Data() {
-			if math.IsNaN(v) || math.IsInf(v, 0) {
-				return true
-			}
-		}
-	}
-	return false
 }

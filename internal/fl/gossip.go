@@ -73,9 +73,8 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 	rootRNG := rand.New(rand.NewSource(cfg.Seed))
 	init := cfg.Arch.Build(rootRNG).GetWeights()
 	for _, c := range active {
-		c.net = cfg.Arch.Build(rootRNG)
+		c.net = nn.NewTrainer(cfg.Precision, cfg.Arch, rootRNG, cfg.LR, cfg.Momentum)
 		c.net.SetWeights(init)
-		c.opt = nn.NewSGD(cfg.LR, cfg.Momentum, 0)
 		c.rng = rand.New(rand.NewSource(cfg.Seed + int64(c.ID)*7919 + 1))
 	}
 
@@ -112,7 +111,7 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 		// join in deterministic order.
 		forEach(workerCount(cfg.Workers, len(sel)), len(sel), func(si int) {
 			c := active[sel[si]]
-			c.opt.Reset()
+			c.net.ResetOpt()
 			c.Local.Shuffle(c.rng)
 			n := c.Local.Len()
 			lossSum, batches := 0.0, 0
@@ -123,7 +122,7 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 				}
 				x, y := c.Local.Batch(s, end)
 				lossSum += c.net.TrainBatch(x, y)
-				c.opt.Step(c.net.Params())
+				c.net.Step()
 				batches++
 			}
 			spans[si] = 0
@@ -161,14 +160,18 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 			TrainLoss: meanLoss(crs[:len(sel)]),
 		}, straggler)
 
-		// Pairwise averaging on the live weights (a's tensors are the
-		// average afterwards; b copies them). Pairings draw over the
-		// cohort, so the peer graph follows the sampler.
+		// Pairwise averaging in float64 boundary space: both partners'
+		// weights widen into a's boundary tensors, average there, and the
+		// result writes back through SetWeights on both sides (a's boundary
+		// tensors are only guaranteed to be live views on the f64 path).
+		// Pairings draw over the cohort, so the peer graph follows the
+		// sampler.
 		for _, pair := range pairings(len(sel), round, cfg.Topology, pairRNG) {
 			a, b := active[sel[pair[0]]], active[sel[pair[1]]]
 			wa := a.net.Weights()
 			accumulateWeighted(wa, b.net.Weights(), 1)
 			scaleWeights(wa, 0.5)
+			a.net.SetWeights(wa)
 			b.net.SetWeights(wa)
 		}
 	}
@@ -177,7 +180,7 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 	if test != nil {
 		hist.PerClient = make([]float64, len(active))
 		for i, c := range active {
-			acc := Evaluate(c.net, test, 256)
+			acc := Evaluate(c.net.EvalNetwork(), test, 256)
 			hist.PerClient[i] = acc
 			hist.MeanAccuracy += acc
 			if acc > hist.BestAccuracy {

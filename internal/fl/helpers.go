@@ -19,8 +19,7 @@ func Centralized(cfg Config, train, test *data.Dataset) (float64, error) {
 		return 0, fmt.Errorf("fl: no architecture")
 	}
 	rng := rand.New(rand.NewSource(cfg.Seed))
-	net := cfg.Arch.Build(rng)
-	opt := nn.NewSGD(cfg.LR, cfg.Momentum, 0)
+	tr := nn.NewTrainer(cfg.Precision, cfg.Arch, rng, cfg.LR, cfg.Momentum)
 	local := train.Subset(seq(train.Len())) // private copy; Run shuffles in place
 	for e := 0; e < cfg.Rounds; e++ {
 		local.Shuffle(rng)
@@ -30,11 +29,11 @@ func Centralized(cfg Config, train, test *data.Dataset) (float64, error) {
 				end = local.Len()
 			}
 			x, y := local.Batch(i, end)
-			net.TrainBatch(x, y)
-			opt.Step(net.Params())
+			tr.TrainBatch(x, y)
+			tr.Step()
 		}
 	}
-	return Evaluate(net, test, 256), nil
+	return Evaluate(tr.EvalNetwork(), test, 256), nil
 }
 
 func seq(n int) []int {

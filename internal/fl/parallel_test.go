@@ -122,6 +122,8 @@ func TestRunWorkersBitIdentical(t *testing.T) {
 		{"devices", true, func(c *Config) {}},
 		{"secureagg", true, func(c *Config) { c.SecureAgg = true }},
 		{"evalEvery", false, func(c *Config) { c.EvalEvery = 2 }},
+		{"f32", false, func(c *Config) { c.Precision = nn.F32 }},
+		{"f32-secureagg", true, func(c *Config) { c.Precision = nn.F32; c.SecureAgg = true }},
 	}
 	for _, v := range variants {
 		t.Run(v.name, func(t *testing.T) {
@@ -151,21 +153,26 @@ func TestRunGEMMLanesBitIdentical(t *testing.T) {
 	t.Cleanup(func() { runtime.GOMAXPROCS(prevProcs) })
 	train, test := data.TrainTest(data.SMNISTConfig(0, 67), 600, 200)
 
-	run := func(lanes int) *History {
-		prev := tensor.MaxLanes()
-		tensor.SetMaxLanes(lanes)
-		defer tensor.SetMaxLanes(prev)
-		cfg := smallConfig(3)
-		cfg.Workers = 1 // serial client pool: every lane goes to the GEMMs
-		hist, err := Run(cfg, parallelClients(t, train, 4, true), test)
-		if err != nil {
-			t.Fatal(err)
-		}
-		return hist
-	}
-	serial := run(0)
-	for _, lanes := range []int{1, 3} {
-		requireSameHistory(t, serial, run(lanes))
+	for _, prec := range []nn.Precision{nn.F64, nn.F32} {
+		t.Run(string(prec), func(t *testing.T) {
+			run := func(lanes int) *History {
+				prev := tensor.MaxLanes()
+				tensor.SetMaxLanes(lanes)
+				defer tensor.SetMaxLanes(prev)
+				cfg := smallConfig(3)
+				cfg.Workers = 1 // serial client pool: every lane goes to the GEMMs
+				cfg.Precision = prec
+				hist, err := Run(cfg, parallelClients(t, train, 4, true), test)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return hist
+			}
+			serial := run(0)
+			for _, lanes := range []int{1, 3} {
+				requireSameHistory(t, serial, run(lanes))
+			}
+		})
 	}
 }
 

@@ -170,9 +170,10 @@ func (p *Package) isFloatSlice(texpr ast.Expr) bool {
 	return ok && b.Info()&types.IsFloat != 0
 }
 
-// isTensorNew reports whether fn is a New* constructor of a package
-// named tensor (matching both the external fedsched/internal/tensor
-// import and calls to New/From inside the tensor package itself).
+// isTensorNew reports whether fn is an allocation primitive of a package
+// named tensor: the New*/From*/Randn* constructors and their generic
+// *Of variants (NewOf, From, RandnOf). Prefix matching keeps the pass
+// aligned as width-parametric constructors are added.
 func isTensorNew(fn *types.Func) bool {
 	if fn.Pkg() == nil || fn.Pkg().Name() != "tensor" {
 		return false
@@ -180,5 +181,6 @@ func isTensorNew(fn *types.Func) bool {
 	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
 		return false
 	}
-	return strings.HasPrefix(fn.Name(), "New") || fn.Name() == "From" || fn.Name() == "Randn"
+	return strings.HasPrefix(fn.Name(), "New") || strings.HasPrefix(fn.Name(), "From") ||
+		strings.HasPrefix(fn.Name(), "Randn")
 }

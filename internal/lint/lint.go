@@ -190,8 +190,20 @@ func (p *Package) pkgNameOf(id *ast.Ident) *types.PkgName {
 // calleeFunc resolves the static callee of a call expression to its
 // *types.Func, or nil for builtins, conversions and dynamic calls
 // (function values, interface methods resolve to the abstract method).
+// Explicitly instantiated generic calls (kernel[float32](…) parses as an
+// *ast.IndexExpr around the callee, kernel[A, B](…) as an
+// *ast.IndexListExpr) are unwrapped to the generic origin function —
+// the same object Info.Defs records for its declaration, so the
+// hotalloc flood-fill follows hotness through instantiated generics.
 func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
-	switch fun := ast.Unparen(call.Fun).(type) {
+	fun := ast.Unparen(call.Fun)
+	switch idx := fun.(type) {
+	case *ast.IndexExpr:
+		fun = ast.Unparen(idx.X)
+	case *ast.IndexListExpr:
+		fun = ast.Unparen(idx.X)
+	}
+	switch fun := fun.(type) {
 	case *ast.Ident:
 		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
 			return fn

@@ -100,3 +100,43 @@ func (r *Ring) EmitAppend(e Event) {
 func NewRing(capacity int) *Ring {
 	return &Ring{buf: make([]Event, capacity)}
 }
+
+// GenericHot mirrors the width-parametric kernels: every callee below is
+// an explicitly instantiated generic, so the flood-fill must unwrap the
+// *ast.IndexExpr / *ast.IndexListExpr instantiation syntax to resolve
+// it. Before that unwrap existed none of these lines produced a
+// diagnostic.
+//
+// fedlint:hotpath
+func GenericHot(ws *tensor.TensorOf[float32]) {
+	t := tensor.NewOf[float32](4, 4) // want `tensor\.NewOf in hot-path function GenericHot allocates fresh tensor storage`
+	_ = t
+	r := tensor.RandnOf[float64](2, 2) // want `tensor\.RandnOf in hot-path function GenericHot allocates fresh tensor storage`
+	_ = r
+	_ = genericHelper[float32](nil)
+	_ = widen[float64, float32](nil, 1)
+	ws = tensor.EnsureShapeOf[float32](ws, 4, 4) // sanctioned reuse: no diagnostic
+	_ = ws
+}
+
+// genericHelper inherits hotness through a one-type-arg instantiation
+// (*ast.IndexExpr at the call site in GenericHot).
+func genericHelper[T tensor.Float](xs []T) []T {
+	var zero T
+	return append(xs, zero) // want `append in hot-path function genericHelper \(hot via GenericHot\) may grow`
+}
+
+// widen inherits hotness through a two-type-arg instantiation
+// (*ast.IndexListExpr at the call site in GenericHot).
+func widen[Dst, Src tensor.Float](dst []Dst, x Src) []Dst {
+	return append(dst, Dst(x)) // want `append in hot-path function widen \(hot via GenericHot\) may grow`
+}
+
+// InferredHot checks the no-explicit-instantiation path stays covered:
+// type inference leaves a plain ident at the call site, which resolved
+// before the unwrap; both routes must land in the same hot set.
+//
+// fedlint:hotpath
+func InferredHot() {
+	_ = genericHelper([]float64{1})
+}

@@ -34,3 +34,39 @@ func EnsureShape(t *Tensor, shape ...int) *Tensor {
 
 // Len keeps the struct fields used.
 func (t *Tensor) Len() int { return len(t.data) }
+
+// Float mirrors the real element-type constraint of the generic kernels.
+type Float interface{ ~float32 | ~float64 }
+
+// TensorOf mirrors the width-parametric dense tensor.
+type TensorOf[T Float] struct {
+	data []T
+}
+
+// NewOf allocates fresh generic storage — the instantiated call the
+// hotalloc pass must still report.
+func NewOf[T Float](shape ...int) *TensorOf[T] {
+	n := 1
+	for _, d := range shape {
+		n *= d
+	}
+	return &TensorOf[T]{data: make([]T, n)}
+}
+
+// RandnOf mirrors the generic random-init constructor; the Randn prefix
+// marks it as an allocation primitive.
+func RandnOf[T Float](shape ...int) *TensorOf[T] {
+	return NewOf[T](shape...)
+}
+
+// EnsureShapeOf is the generic sanctioned-reuse entry point; like
+// EnsureShape it must not be flagged at call sites.
+func EnsureShapeOf[T Float](t *TensorOf[T], shape ...int) *TensorOf[T] {
+	if t != nil {
+		return t
+	}
+	return NewOf[T](shape...)
+}
+
+// LenOf keeps the generic struct fields used.
+func (t *TensorOf[T]) Len() int { return len(t.data) }

@@ -9,36 +9,42 @@ import (
 
 // sameStorage reports whether two tensors share the same backing array —
 // the cheap identity check behind the cached-view reuse in Flatten.
-func sameStorage(a, b *tensor.Tensor) bool {
+func sameStorage[T tensor.Float](a, b *tensor.TensorOf[T]) bool {
 	ad, bd := a.Data(), b.Data()
 	return len(ad) == len(bd) && (len(ad) == 0 || &ad[0] == &bd[0])
 }
 
-// ReLU applies max(0, x) elementwise.
+// ReLUOf applies max(0, x) elementwise.
 //
-// When a ReLU directly follows a Dense or Conv2D layer, Network.Forward
+// When a ReLU directly follows a Dense or Conv2D layer, NetworkOf.Forward
 // fuses the activation into the producer's kernel: the producer calls
 // ensureMask to hand the clamp decision back to this layer, and this
 // layer's Forward is skipped for that pass. Backward is identical either
 // way — it only consumes the mask.
-type ReLU struct {
+type ReLUOf[T tensor.Float] struct {
 	mask []bool
-	y    *tensor.Tensor // forward output (unfused path)
-	dx   *tensor.Tensor // input gradient
+	y    *tensor.TensorOf[T] // forward output (unfused path)
+	dx   *tensor.TensorOf[T] // input gradient
 }
 
-// NewReLU returns a ReLU activation layer.
-func NewReLU() *ReLU { return &ReLU{} }
+// ReLU is the float64 ReLU layer.
+type ReLU = ReLUOf[float64]
 
-// Name implements Layer.
-func (r *ReLU) Name() string { return "ReLU" }
+// NewReLU returns a float64 ReLU activation layer.
+func NewReLU() *ReLU { return NewReLUOf[float64]() }
 
-// Params implements Layer.
-func (r *ReLU) Params() []*Param { return nil }
+// NewReLUOf returns a ReLU activation layer.
+func NewReLUOf[T tensor.Float]() *ReLUOf[T] { return &ReLUOf[T]{} }
+
+// Name implements LayerOf.
+func (r *ReLUOf[T]) Name() string { return "ReLU" }
+
+// Params implements LayerOf.
+func (r *ReLUOf[T]) Params() []*ParamOf[T] { return nil }
 
 // ensureMask returns the layer's mask buffer resized to n entries. Fused
 // producers fill it with (pre-clamp value > 0) per output element.
-func (r *ReLU) ensureMask(n int) []bool {
+func (r *ReLUOf[T]) ensureMask(n int) []bool {
 	if cap(r.mask) < n {
 		r.mask = make([]bool, n)
 	}
@@ -46,10 +52,10 @@ func (r *ReLU) ensureMask(n int) []bool {
 	return r.mask
 }
 
-// Forward implements Layer.
+// Forward implements LayerOf.
 //
 // fedlint:hotpath
-func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (r *ReLUOf[T]) Forward(x *tensor.TensorOf[T], train bool) *tensor.TensorOf[T] {
 	r.y = tensor.EnsureShape(r.y, x.Shape()...)
 	mask := r.ensureMask(x.Len())
 	xd, yd := x.Data(), r.y.Data()
@@ -65,10 +71,10 @@ func (r *ReLU) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return r.y
 }
 
-// Backward implements Layer.
+// Backward implements LayerOf.
 //
 // fedlint:hotpath
-func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (r *ReLUOf[T]) Backward(grad *tensor.TensorOf[T]) *tensor.TensorOf[T] {
 	r.dx = tensor.EnsureShape(r.dx, grad.Shape()...)
 	gd, dd := grad.Data(), r.dx.Data()
 	for i, v := range gd {
@@ -81,31 +87,37 @@ func (r *ReLU) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return r.dx
 }
 
-// Flatten reshapes (N, ...) inputs to (N, prod(...)).
+// FlattenOf reshapes (N, ...) inputs to (N, prod(...)).
 //
 // Reshape only wraps the storage in a new header, but even that small
 // allocation recurs every batch; since upstream layers hand Flatten the
 // same workspace tensor each pass, the views are cached and reused as
 // long as the storage identity and geometry match.
-type Flatten struct {
+type FlattenOf[T tensor.Float] struct {
 	inShape []int
-	out     *tensor.Tensor // cached forward view
-	back    *tensor.Tensor // cached backward view
+	out     *tensor.TensorOf[T] // cached forward view
+	back    *tensor.TensorOf[T] // cached backward view
 }
 
-// NewFlatten returns a flatten layer.
-func NewFlatten() *Flatten { return &Flatten{} }
+// Flatten is the float64 flatten layer.
+type Flatten = FlattenOf[float64]
 
-// Name implements Layer.
-func (f *Flatten) Name() string { return "Flatten" }
+// NewFlatten returns a float64 flatten layer.
+func NewFlatten() *Flatten { return NewFlattenOf[float64]() }
 
-// Params implements Layer.
-func (f *Flatten) Params() []*Param { return nil }
+// NewFlattenOf returns a flatten layer.
+func NewFlattenOf[T tensor.Float]() *FlattenOf[T] { return &FlattenOf[T]{} }
 
-// Forward implements Layer.
+// Name implements LayerOf.
+func (f *FlattenOf[T]) Name() string { return "Flatten" }
+
+// Params implements LayerOf.
+func (f *FlattenOf[T]) Params() []*ParamOf[T] { return nil }
+
+// Forward implements LayerOf.
 //
 // fedlint:hotpath
-func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (f *FlattenOf[T]) Forward(x *tensor.TensorOf[T], train bool) *tensor.TensorOf[T] {
 	f.inShape = x.Shape()
 	n := x.Dim(0)
 	cols := x.Len() / n
@@ -115,10 +127,10 @@ func (f *Flatten) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return f.out
 }
 
-// Backward implements Layer.
+// Backward implements LayerOf.
 //
 // fedlint:hotpath
-func (f *Flatten) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (f *FlattenOf[T]) Backward(grad *tensor.TensorOf[T]) *tensor.TensorOf[T] {
 	if f.back == nil || !sameStorage(f.back, grad) || !shapeEq(f.back.Shape(), f.inShape) {
 		f.back = grad.Reshape(f.inShape...)
 	}
@@ -137,30 +149,40 @@ func shapeEq(a, b []int) bool {
 	return true
 }
 
-// MaxPool2D is a non-overlapping 2-D max pooling layer over (N, C, H, W).
-type MaxPool2D struct {
+// MaxPool2DOf is a non-overlapping 2-D max pooling layer over (N, C, H, W).
+type MaxPool2DOf[T tensor.Float] struct {
 	Size, Stride int
 	argmax       []int
 	inShape      []int
-	y            *tensor.Tensor // forward output
-	dx           *tensor.Tensor // input gradient
+	y            *tensor.TensorOf[T] // forward output
+	dx           *tensor.TensorOf[T] // input gradient
 }
 
-// NewMaxPool2D constructs a max-pool layer with the given window and stride.
+// MaxPool2D is the float64 max-pool layer.
+type MaxPool2D = MaxPool2DOf[float64]
+
+// NewMaxPool2D constructs a float64 max-pool layer with the given window
+// and stride.
 func NewMaxPool2D(size, stride int) *MaxPool2D {
-	return &MaxPool2D{Size: size, Stride: stride}
+	return NewMaxPool2DOf[float64](size, stride)
 }
 
-// Name implements Layer.
-func (p *MaxPool2D) Name() string { return fmt.Sprintf("MaxPool2D(%d,s=%d)", p.Size, p.Stride) }
+// NewMaxPool2DOf constructs a max-pool layer with the given window and
+// stride.
+func NewMaxPool2DOf[T tensor.Float](size, stride int) *MaxPool2DOf[T] {
+	return &MaxPool2DOf[T]{Size: size, Stride: stride}
+}
 
-// Params implements Layer.
-func (p *MaxPool2D) Params() []*Param { return nil }
+// Name implements LayerOf.
+func (p *MaxPool2DOf[T]) Name() string { return fmt.Sprintf("MaxPool2D(%d,s=%d)", p.Size, p.Stride) }
 
-// Forward implements Layer.
+// Params implements LayerOf.
+func (p *MaxPool2DOf[T]) Params() []*ParamOf[T] { return nil }
+
+// Forward implements LayerOf.
 //
 // fedlint:hotpath
-func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (p *MaxPool2DOf[T]) Forward(x *tensor.TensorOf[T], train bool) *tensor.TensorOf[T] {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := (h-p.Size)/p.Stride + 1
 	ow := (w-p.Size)/p.Stride + 1
@@ -197,10 +219,10 @@ func (p *MaxPool2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return y
 }
 
-// Backward implements Layer.
+// Backward implements LayerOf.
 //
 // fedlint:hotpath
-func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (p *MaxPool2DOf[T]) Backward(grad *tensor.TensorOf[T]) *tensor.TensorOf[T] {
 	p.dx = tensor.EnsureShape(p.dx, p.inShape...)
 	p.dx.Zero() // scatter-add below touches only argmax positions
 	dd, gd := p.dx.Data(), grad.Data()
@@ -210,32 +232,42 @@ func (p *MaxPool2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 	return p.dx
 }
 
-// Dropout zeroes activations with probability P during training and scales
-// the survivors by 1/(1−P) (inverted dropout). It is an identity at
-// inference time.
-type Dropout struct {
+// DropoutOf zeroes activations with probability P during training and
+// scales the survivors by 1/(1−P) (inverted dropout). It is an identity at
+// inference time. The rng draw sequence per element is the same for every
+// element type, so f32 and f64 networks driven by the same seed drop the
+// same activations.
+type DropoutOf[T tensor.Float] struct {
 	P    float64
 	rng  *rand.Rand
 	keep []bool
-	y    *tensor.Tensor // forward output (training path)
-	dx   *tensor.Tensor // input gradient
+	y    *tensor.TensorOf[T] // forward output (training path)
+	dx   *tensor.TensorOf[T] // input gradient
 }
 
-// NewDropout constructs a dropout layer driven by rng.
+// Dropout is the float64 dropout layer.
+type Dropout = DropoutOf[float64]
+
+// NewDropout constructs a float64 dropout layer driven by rng.
 func NewDropout(rng *rand.Rand, p float64) *Dropout {
-	return &Dropout{P: p, rng: rng}
+	return NewDropoutOf[float64](rng, p)
 }
 
-// Name implements Layer.
-func (d *Dropout) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.P) }
+// NewDropoutOf constructs a dropout layer driven by rng.
+func NewDropoutOf[T tensor.Float](rng *rand.Rand, p float64) *DropoutOf[T] {
+	return &DropoutOf[T]{P: p, rng: rng}
+}
 
-// Params implements Layer.
-func (d *Dropout) Params() []*Param { return nil }
+// Name implements LayerOf.
+func (d *DropoutOf[T]) Name() string { return fmt.Sprintf("Dropout(%.2f)", d.P) }
 
-// Forward implements Layer.
+// Params implements LayerOf.
+func (d *DropoutOf[T]) Params() []*ParamOf[T] { return nil }
+
+// Forward implements LayerOf.
 //
 // fedlint:hotpath
-func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (d *DropoutOf[T]) Forward(x *tensor.TensorOf[T], train bool) *tensor.TensorOf[T] {
 	if !train || d.P <= 0 {
 		d.keep = nil
 		return x
@@ -245,7 +277,7 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 		d.keep = make([]bool, x.Len())
 	}
 	d.keep = d.keep[:x.Len()]
-	scale := 1 / (1 - d.P)
+	scale := T(1 / (1 - d.P))
 	xd, yd := x.Data(), d.y.Data()
 	for i, v := range xd {
 		if d.rng.Float64() < d.P {
@@ -259,16 +291,16 @@ func (d *Dropout) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 	return d.y
 }
 
-// Backward implements Layer.
+// Backward implements LayerOf.
 //
 // fedlint:hotpath
-func (d *Dropout) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (d *DropoutOf[T]) Backward(grad *tensor.TensorOf[T]) *tensor.TensorOf[T] {
 	if d.keep == nil {
 		return grad
 	}
 	d.dx = tensor.EnsureShape(d.dx, grad.Shape()...)
 	gd, dd := grad.Data(), d.dx.Data()
-	scale := 1 / (1 - d.P)
+	scale := T(1 / (1 - d.P))
 	for i, v := range gd {
 		if d.keep[i] {
 			dd[i] = v * scale

@@ -8,67 +8,79 @@ import (
 	"fedsched/internal/tensor"
 )
 
-// Conv2D is a 2-D convolution over (N, C, H, W) inputs, implemented as
-// im2col + matrix multiply. Weights have shape (OutC, InC, K, K).
+// Conv2DOf is a 2-D convolution over (N, C, H, W) inputs, implemented as
+// implicit-GEMM: the blocked matrix kernels consume the input through
+// virtual im2col operands synthesized inside their packing stage (see
+// tensor.ConvForwardInto and friends), so the (N·OH·OW, InC·K·K) patch
+// matrix — historically the largest steady-state training buffer — is
+// never materialized. Weights have shape (OutC, InC·K·K).
 //
-// The layer keeps every per-batch buffer — im2col/col2im scratch, matmul
-// results and the output activation itself — alive across batches, so on
-// steady-state batch sizes the forward and backward passes allocate
-// nothing at all. Workspaces are per layer (hence per network), so
-// concurrently-training client networks never share scratch memory.
-// The bias add is fused into the matmul epilogue; a directly following
-// ReLU fuses into the NHWC→NCHW permute (see Network.Forward).
-type Conv2D struct {
+// The layer keeps every per-batch buffer — the matmul-layout results and
+// the output activation itself — alive across batches, so on steady-state
+// batch sizes the forward and backward passes allocate nothing at all.
+// Workspaces are per layer (hence per network), so concurrently-training
+// client networks never share scratch memory. The bias add is fused into
+// the GEMM epilogue; a directly following ReLU fuses into the NHWC→NCHW
+// permute (see NetworkOf.Forward).
+type Conv2DOf[T tensor.Float] struct {
 	InC, OutC      int
 	K, Stride, Pad int
 	InH, InW       int // set on first Forward; used for FLOP estimates
-	w, b           *Param
-	inShape        []int
+	w, b           *ParamOf[T]
+	x              *tensor.TensorOf[T] // cached input for backward (weight grad)
 	outH, outW     int
 
 	// Reusable workspaces, sized lazily and re-sized only when the batch
-	// geometry changes. cols must survive from Forward to Backward (the
-	// weight gradient needs it); the rest are pure scratch. y is
-	// overwritten by the next Forward; downstream layers consume it
-	// within the current pass.
-	cols  *tensor.Tensor // im2col matrix (N*OH*OW, InC*K*K)
-	ym    *tensor.Tensor // forward matmul result (N*OH*OW, OutC)
-	y     *tensor.Tensor // forward output (N, OutC, OH, OW)
-	gm    *tensor.Tensor // grad re-layout (N*OH*OW, OutC)
-	dw    *tensor.Tensor // weight gradient (OutC, InC*K*K)
-	dcols *tensor.Tensor // column gradient (N*OH*OW, InC*K*K)
-	dx    *tensor.Tensor // input gradient (N, InC, H, W)
+	// geometry changes. y is overwritten by the next Forward; downstream
+	// layers consume it within the current pass.
+	ym *tensor.TensorOf[T] // forward matmul result (N*OH*OW, OutC)
+	y  *tensor.TensorOf[T] // forward output (N, OutC, OH, OW)
+	gm *tensor.TensorOf[T] // grad re-layout (N*OH*OW, OutC)
+	dw *tensor.TensorOf[T] // weight gradient (OutC, InC*K*K)
+	dx *tensor.TensorOf[T] // input gradient (N, InC, H, W)
 }
 
-// NewConv2D constructs a convolution layer with He-initialized weights.
+// Conv2D is the float64 convolution layer.
+type Conv2D = Conv2DOf[float64]
+
+// NewConv2D constructs a float64 convolution layer with He-initialized
+// weights.
 func NewConv2D(rng *rand.Rand, inC, outC, k, stride, pad int) *Conv2D {
-	c := &Conv2D{
+	return NewConv2DOf[float64](rng, inC, outC, k, stride, pad)
+}
+
+// NewConv2DOf constructs a convolution layer with He-initialized weights.
+// The rng draw sequence is identical for every element type, so a float32
+// and a float64 network built from the same seed start from the same
+// (rounded) weights.
+func NewConv2DOf[T tensor.Float](rng *rand.Rand, inC, outC, k, stride, pad int) *Conv2DOf[T] {
+	c := &Conv2DOf[T]{
 		InC: inC, OutC: outC, K: k, Stride: stride, Pad: pad,
-		w: newParam(fmt.Sprintf("conv%dx%dx%d.w", outC, inC, k), outC, inC*k*k),
-		b: newParam(fmt.Sprintf("conv%dx%dx%d.b", outC, inC, k), outC),
+		w: newParamOf[T](fmt.Sprintf("conv%dx%dx%d.w", outC, inC, k), outC, inC*k*k),
+		b: newParamOf[T](fmt.Sprintf("conv%dx%dx%d.b", outC, inC, k), outC),
 	}
 	fanIn := float64(inC * k * k)
 	std := math.Sqrt(2.0 / fanIn)
 	for i := range c.w.W.Data() {
-		c.w.W.Data()[i] = rng.NormFloat64() * std
+		c.w.W.Data()[i] = T(rng.NormFloat64() * std)
 	}
 	return c
 }
 
-// Name implements Layer.
-func (c *Conv2D) Name() string {
+// Name implements LayerOf.
+func (c *Conv2DOf[T]) Name() string {
 	return fmt.Sprintf("Conv2D(%d→%d,k=%d,s=%d,p=%d)", c.InC, c.OutC, c.K, c.Stride, c.Pad)
 }
 
 // Class implements Classed.
-func (c *Conv2D) Class() ParamClass { return ClassConv }
+func (c *Conv2DOf[T]) Class() ParamClass { return ClassConv }
 
-// Params implements Layer.
-func (c *Conv2D) Params() []*Param { return []*Param{c.w, c.b} }
+// Params implements LayerOf.
+func (c *Conv2DOf[T]) Params() []*ParamOf[T] { return []*ParamOf[T]{c.w, c.b} }
 
 // FlopsPerSample implements FlopsCounter. It requires one Forward call (or
 // SetInputSize) to know the spatial dimensions.
-func (c *Conv2D) FlopsPerSample() float64 {
+func (c *Conv2DOf[T]) FlopsPerSample() float64 {
 	if c.outH == 0 {
 		return 0
 	}
@@ -77,21 +89,21 @@ func (c *Conv2D) FlopsPerSample() float64 {
 
 // SetInputSize pre-computes the output geometry for FLOP estimation without
 // running a forward pass.
-func (c *Conv2D) SetInputSize(h, w int) {
+func (c *Conv2DOf[T]) SetInputSize(h, w int) {
 	c.InH, c.InW = h, w
 	c.outH = tensor.ConvOutSize(h, c.K, c.Stride, c.Pad)
 	c.outW = tensor.ConvOutSize(w, c.K, c.Stride, c.Pad)
 }
 
 // OutSize returns the output spatial dimensions for an input of (h, w).
-func (c *Conv2D) OutSize(h, w int) (int, int) {
+func (c *Conv2DOf[T]) OutSize(h, w int) (int, int) {
 	return tensor.ConvOutSize(h, c.K, c.Stride, c.Pad), tensor.ConvOutSize(w, c.K, c.Stride, c.Pad)
 }
 
-// Forward implements Layer. x must be (N, InC, H, W).
+// Forward implements LayerOf. x must be (N, InC, H, W).
 //
 // fedlint:hotpath
-func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (c *Conv2DOf[T]) Forward(x *tensor.TensorOf[T], train bool) *tensor.TensorOf[T] {
 	return c.forward(x, nil)
 }
 
@@ -99,28 +111,26 @@ func (c *Conv2D) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // backward mask ride along with the NHWC→NCHW permute pass.
 //
 // fedlint:hotpath
-func (c *Conv2D) forwardFusedReLU(x *tensor.Tensor, train bool, r *ReLU) *tensor.Tensor {
+func (c *Conv2DOf[T]) forwardFusedReLU(x *tensor.TensorOf[T], train bool, r *ReLUOf[T]) *tensor.TensorOf[T] {
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	oh, ow := c.OutSize(h, w)
 	return c.forward(x, r.ensureMask(n*c.OutC*oh*ow))
 }
 
-// forward lowers the input, multiplies against the filters with the bias
-// fused into the kernel epilogue, and permutes the (N*OH*OW, OutC) result
-// into (N, OutC, OH, OW). A non-nil mask additionally applies ReLU during
-// the permute, recording which activations stayed positive.
-func (c *Conv2D) forward(x *tensor.Tensor, mask []bool) *tensor.Tensor {
+// forward runs the implicit-GEMM convolution with the bias fused into the
+// kernel epilogue, and permutes the (N*OH*OW, OutC) result into
+// (N, OutC, OH, OW). A non-nil mask additionally applies ReLU during the
+// permute, recording which activations stayed positive.
+func (c *Conv2DOf[T]) forward(x *tensor.TensorOf[T], mask []bool) *tensor.TensorOf[T] {
 	if x.Rank() != 4 || x.Dim(1) != c.InC {
 		panic(fmt.Sprintf("nn: %s got input %v", c.Name(), x.Shape()))
 	}
 	n, h, w := x.Dim(0), x.Dim(2), x.Dim(3)
 	c.SetInputSize(h, w)
-	c.inShape = x.Shape()
+	c.x = x
 	oh, ow := c.outH, c.outW
-	c.cols = tensor.EnsureShape(c.cols, n*oh*ow, c.InC*c.K*c.K)
-	tensor.Im2ColInto(c.cols, x, c.K, c.K, c.Stride, c.Pad)
 	c.ym = tensor.EnsureShape(c.ym, n*oh*ow, c.OutC)
-	tensor.MatMulTransBBiasInto(c.ym, c.cols, c.w.W, c.b.W) // (N*OH*OW, OutC) + b
+	tensor.ConvForwardInto(c.ym, x, c.w.W, c.b.W, c.K, c.K, c.Stride, c.Pad)
 	c.y = tensor.EnsureShape(c.y, n, c.OutC, oh, ow)
 	yd, md := c.y.Data(), c.ym.Data()
 	for img := 0; img < n; img++ {
@@ -146,13 +156,13 @@ func (c *Conv2D) forward(x *tensor.Tensor, mask []bool) *tensor.Tensor {
 	return c.y
 }
 
-// Backward implements Layer. grad must be (N, OutC, OH, OW). The returned
+// Backward implements LayerOf. grad must be (N, OutC, OH, OW). The returned
 // input gradient lives in a per-layer workspace that is overwritten by the
 // next Backward call; callers consume it within the current pass (which is
-// how Network.Backward drives layers).
+// how NetworkOf.Backward drives layers).
 //
 // fedlint:hotpath
-func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (c *Conv2DOf[T]) Backward(grad *tensor.TensorOf[T]) *tensor.TensorOf[T] {
 	n := grad.Dim(0)
 	oh, ow := c.outH, c.outW
 	// Re-layout grad to (N*OH*OW, OutC) to mirror the forward matmul.
@@ -170,14 +180,13 @@ func (c *Conv2D) Backward(grad *tensor.Tensor) *tensor.Tensor {
 			}
 		}
 	}
-	// dW = gmᵀ·cols : (OutC, InC*K*K).
+	// dW = gmᵀ·im2col(x), with the patch matrix synthesized in-kernel.
 	c.dw = tensor.EnsureShape(c.dw, c.OutC, c.InC*c.K*c.K)
-	tensor.MatMulTransAInto(c.dw, c.gm, c.cols)
+	tensor.ConvGradWeightsInto(c.dw, c.gm, c.x, c.K, c.K, c.Stride, c.Pad)
 	c.w.Grad.Add(c.dw)
-	// dCols = gm·W : (N*OH*OW, InC*K*K), then scatter back to image space.
-	c.dcols = tensor.EnsureShape(c.dcols, n*oh*ow, c.InC*c.K*c.K)
-	tensor.MatMulInto(c.dcols, c.gm, c.w.W)
-	c.dx = tensor.EnsureShape(c.dx, c.inShape...)
-	tensor.Col2ImInto(c.dx, c.dcols, c.K, c.K, c.Stride, c.Pad)
+	// dx = col2im(gm·W), chunked through a bounded pooled buffer instead
+	// of a full materialized column-gradient matrix.
+	c.dx = tensor.EnsureShape(c.dx, c.x.Shape()...)
+	tensor.ConvGradInputInto(c.dx, c.gm, c.w.W, c.K, c.K, c.Stride, c.Pad)
 	return c.dx
 }

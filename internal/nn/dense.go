@@ -8,56 +8,67 @@ import (
 	"fedsched/internal/tensor"
 )
 
-// Dense is a fully-connected layer: y = x·Wᵀ + b with W of shape (out, in).
+// DenseOf is a fully-connected layer: y = x·Wᵀ + b with W of shape (out, in).
 //
-// Like Conv2D, the layer keeps its output and gradient workspaces alive
+// Like Conv2DOf, the layer keeps its output and gradient workspaces alive
 // across batches (y, dw, dx below), so a steady-state training step
 // allocates nothing. The bias add is fused into the matmul epilogue, and
-// when a ReLU immediately follows (see Network.Forward), the activation
+// when a ReLU immediately follows (see NetworkOf.Forward), the activation
 // and its backward mask are fused in as well.
-type Dense struct {
+type DenseOf[T tensor.Float] struct {
 	In, Out int
-	w, b    *Param
-	x       *tensor.Tensor // cached input for backward
+	w, b    *ParamOf[T]
+	x       *tensor.TensorOf[T] // cached input for backward
 
 	// Reusable workspaces, sized lazily. y is overwritten by the next
 	// Forward; downstream layers consume it within the current pass.
-	y  *tensor.Tensor // forward output (N, Out)
-	dw *tensor.Tensor // weight gradient (Out, In)
-	dx *tensor.Tensor // input gradient (N, In)
+	y  *tensor.TensorOf[T] // forward output (N, Out)
+	dw *tensor.TensorOf[T] // weight gradient (Out, In)
+	dx *tensor.TensorOf[T] // input gradient (N, In)
 }
 
-// NewDense constructs a dense layer with He-initialized weights.
+// Dense is the float64 dense layer.
+type Dense = DenseOf[float64]
+
+// NewDense constructs a float64 dense layer with He-initialized weights.
 func NewDense(rng *rand.Rand, in, out int) *Dense {
-	d := &Dense{
+	return NewDenseOf[float64](rng, in, out)
+}
+
+// NewDenseOf constructs a dense layer with He-initialized weights. The rng
+// draw sequence is identical for every element type, so a float32 and a
+// float64 network built from the same seed start from the same (rounded)
+// weights.
+func NewDenseOf[T tensor.Float](rng *rand.Rand, in, out int) *DenseOf[T] {
+	d := &DenseOf[T]{
 		In:  in,
 		Out: out,
-		w:   newParam(fmt.Sprintf("dense%dx%d.w", out, in), out, in),
-		b:   newParam(fmt.Sprintf("dense%dx%d.b", out, in), out),
+		w:   newParamOf[T](fmt.Sprintf("dense%dx%d.w", out, in), out, in),
+		b:   newParamOf[T](fmt.Sprintf("dense%dx%d.b", out, in), out),
 	}
 	std := math.Sqrt(2.0 / float64(in))
 	for i := range d.w.W.Data() {
-		d.w.W.Data()[i] = rng.NormFloat64() * std
+		d.w.W.Data()[i] = T(rng.NormFloat64() * std)
 	}
 	return d
 }
 
-// Name implements Layer.
-func (d *Dense) Name() string { return fmt.Sprintf("Dense(%d→%d)", d.In, d.Out) }
+// Name implements LayerOf.
+func (d *DenseOf[T]) Name() string { return fmt.Sprintf("Dense(%d→%d)", d.In, d.Out) }
 
 // Class implements Classed.
-func (d *Dense) Class() ParamClass { return ClassDense }
+func (d *DenseOf[T]) Class() ParamClass { return ClassDense }
 
-// Params implements Layer.
-func (d *Dense) Params() []*Param { return []*Param{d.w, d.b} }
+// Params implements LayerOf.
+func (d *DenseOf[T]) Params() []*ParamOf[T] { return []*ParamOf[T]{d.w, d.b} }
 
 // FlopsPerSample implements FlopsCounter: one multiply-add per weight.
-func (d *Dense) FlopsPerSample() float64 { return 2 * float64(d.In) * float64(d.Out) }
+func (d *DenseOf[T]) FlopsPerSample() float64 { return 2 * float64(d.In) * float64(d.Out) }
 
-// Forward implements Layer. x must be (N, In).
+// Forward implements LayerOf. x must be (N, In).
 //
 // fedlint:hotpath
-func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (d *DenseOf[T]) Forward(x *tensor.TensorOf[T], train bool) *tensor.TensorOf[T] {
 	if x.Rank() != 2 || x.Dim(1) != d.In {
 		panic(fmt.Sprintf("nn: %s got input %v", d.Name(), x.Shape()))
 	}
@@ -72,7 +83,7 @@ func (d *Dense) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // layer will use in its Backward.
 //
 // fedlint:hotpath
-func (d *Dense) forwardFusedReLU(x *tensor.Tensor, train bool, r *ReLU) *tensor.Tensor {
+func (d *DenseOf[T]) forwardFusedReLU(x *tensor.TensorOf[T], train bool, r *ReLUOf[T]) *tensor.TensorOf[T] {
 	if x.Rank() != 2 || x.Dim(1) != d.In {
 		panic(fmt.Sprintf("nn: %s got input %v", d.Name(), x.Shape()))
 	}
@@ -83,13 +94,13 @@ func (d *Dense) forwardFusedReLU(x *tensor.Tensor, train bool, r *ReLU) *tensor.
 	return d.y
 }
 
-// Backward implements Layer. grad must be (N, Out). The returned input
+// Backward implements LayerOf. grad must be (N, Out). The returned input
 // gradient lives in a per-layer workspace that is overwritten by the next
 // Backward call; callers consume it within the current pass (which is how
-// Network.Backward drives layers).
+// NetworkOf.Backward drives layers).
 //
 // fedlint:hotpath
-func (d *Dense) Backward(grad *tensor.Tensor) *tensor.Tensor {
+func (d *DenseOf[T]) Backward(grad *tensor.TensorOf[T]) *tensor.TensorOf[T] {
 	// dW = gradᵀ·x, db = Σ grad rows, dx = grad·W.
 	d.dw = tensor.EnsureShape(d.dw, d.Out, d.In)
 	tensor.MatMulTransAInto(d.dw, grad, d.x)

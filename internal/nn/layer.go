@@ -3,34 +3,46 @@
 // The federated engine trains real models with it, and the performance
 // profiler consumes its parameter counts (convolutional vs dense split,
 // paper §IV-B) and FLOP estimates.
+//
+// Every layer, the network container and the optimizer are generic over the
+// tensor element type (float32 or float64). The float64 instantiations keep
+// their historical names via aliases (Layer, Dense, Network, …), so existing
+// code is untouched; the float32 path is reached through BuildNetwork and
+// the Trainer constructor (see trainer.go).
 package nn
 
 import "fedsched/internal/tensor"
 
-// Param is a trainable parameter with its gradient accumulator. Grad has
+// ParamOf is a trainable parameter with its gradient accumulator. Grad has
 // the same shape as W and is zeroed by the optimizer after each step.
-type Param struct {
+type ParamOf[T tensor.Float] struct {
 	Name string
-	W    *tensor.Tensor
-	Grad *tensor.Tensor
+	W    *tensor.TensorOf[T]
+	Grad *tensor.TensorOf[T]
 }
 
-// Layer is a differentiable network stage. Forward consumes the previous
+// Param is the float64 parameter used throughout the federated engine.
+type Param = ParamOf[float64]
+
+// LayerOf is a differentiable network stage. Forward consumes the previous
 // activation and returns the next one; Backward consumes dLoss/dOutput and
 // returns dLoss/dInput, accumulating parameter gradients along the way.
 // Layers cache whatever they need between Forward and Backward, so a layer
 // instance must not be shared between concurrently-training networks.
-type Layer interface {
+type LayerOf[T tensor.Float] interface {
 	// Name identifies the layer kind for diagnostics.
 	Name() string
 	// Forward runs the layer. train enables training-only behaviour
 	// such as dropout.
-	Forward(x *tensor.Tensor, train bool) *tensor.Tensor
+	Forward(x *tensor.TensorOf[T], train bool) *tensor.TensorOf[T]
 	// Backward propagates the output gradient to the input gradient.
-	Backward(grad *tensor.Tensor) *tensor.Tensor
+	Backward(grad *tensor.TensorOf[T]) *tensor.TensorOf[T]
 	// Params returns the layer's trainable parameters (possibly empty).
-	Params() []*Param
+	Params() []*ParamOf[T]
 }
+
+// Layer is the float64 layer interface.
+type Layer = LayerOf[float64]
 
 // ParamClass distinguishes convolutional from densely-connected parameters;
 // the profiler regresses training time against the two counts separately
@@ -58,10 +70,14 @@ type FlopsCounter interface {
 	FlopsPerSample() float64
 }
 
-func newParam(name string, shape ...int) *Param {
-	return &Param{
+func newParamOf[T tensor.Float](name string, shape ...int) *ParamOf[T] {
+	return &ParamOf[T]{
 		Name: name,
-		W:    tensor.New(shape...),
-		Grad: tensor.New(shape...),
+		W:    tensor.NewOf[T](shape...),
+		Grad: tensor.NewOf[T](shape...),
 	}
+}
+
+func newParam(name string, shape ...int) *Param {
+	return newParamOf[float64](name, shape...)
 }

@@ -9,18 +9,23 @@ import (
 // SoftmaxCrossEntropy computes the mean cross-entropy loss of logits
 // (N, K) against integer labels, and the gradient with respect to the
 // logits. The softmax and the loss are fused for numerical stability.
-func SoftmaxCrossEntropy(logits *tensor.Tensor, labels []int) (loss float64, grad *tensor.Tensor) {
-	grad = tensor.New(logits.Dim(0), logits.Dim(1))
+func SoftmaxCrossEntropy[T tensor.Float](logits *tensor.TensorOf[T], labels []int) (loss float64, grad *tensor.TensorOf[T]) {
+	grad = tensor.NewOf[T](logits.Dim(0), logits.Dim(1))
 	loss = SoftmaxCrossEntropyInto(grad, logits, labels)
 	return loss, grad
 }
 
 // SoftmaxCrossEntropyInto is SoftmaxCrossEntropy writing the logits
 // gradient into a caller-owned (N, K) tensor — the allocation-free path
-// used by Network.TrainBatch with its persistent loss-gradient workspace.
+// used by NetworkOf.TrainBatch with its persistent loss-gradient
+// workspace. The exp/log/normalization arithmetic runs in float64 for
+// both element types (the reductions are tiny — K terms — so the cast
+// costs nothing), which keeps the float64 instantiation bit-identical to
+// the historical implementation and gives the float32 path full-precision
+// loss accounting.
 //
 // fedlint:hotpath
-func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) (loss float64) {
+func SoftmaxCrossEntropyInto[T tensor.Float](grad, logits *tensor.TensorOf[T], labels []int) (loss float64) {
 	n, k := logits.Dim(0), logits.Dim(1)
 	if len(labels) != n {
 		panic("nn: label count does not match batch size")
@@ -41,8 +46,8 @@ func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) (loss fl
 		sum := 0.0
 		g := gd[i*k : (i+1)*k]
 		for j, v := range row {
-			e := math.Exp(v - maxv)
-			g[j] = e
+			e := math.Exp(float64(v) - float64(maxv))
+			g[j] = T(e)
 			sum += e
 		}
 		inv := 1 / sum
@@ -51,19 +56,19 @@ func SoftmaxCrossEntropyInto(grad, logits *tensor.Tensor, labels []int) (loss fl
 			panic("nn: label out of range")
 		}
 		for j := range g {
-			g[j] = g[j] * inv * invN
+			g[j] = T(float64(g[j]) * inv * invN)
 		}
-		p := g[y] / invN // softmax probability of true class
-		g[y] -= invN
+		p := float64(g[y]) / invN // softmax probability of true class
+		g[y] -= T(invN)
 		loss += -math.Log(math.Max(p, 1e-15))
 	}
 	return loss * invN
 }
 
 // Softmax returns row-wise softmax probabilities of logits (N, K).
-func Softmax(logits *tensor.Tensor) *tensor.Tensor {
+func Softmax[T tensor.Float](logits *tensor.TensorOf[T]) *tensor.TensorOf[T] {
 	n, k := logits.Dim(0), logits.Dim(1)
-	out := tensor.New(n, k)
+	out := tensor.NewOf[T](n, k)
 	ld, od := logits.Data(), out.Data()
 	for i := 0; i < n; i++ {
 		row := ld[i*k : (i+1)*k]
@@ -76,20 +81,20 @@ func Softmax(logits *tensor.Tensor) *tensor.Tensor {
 		}
 		sum := 0.0
 		for j, v := range row {
-			e := math.Exp(v - maxv)
-			o[j] = e
+			e := math.Exp(float64(v) - float64(maxv))
+			o[j] = T(e)
 			sum += e
 		}
 		inv := 1 / sum
 		for j := range o {
-			o[j] *= inv
+			o[j] = T(float64(o[j]) * inv)
 		}
 	}
 	return out
 }
 
 // Argmax returns the index of the largest value in each row of a 2-D tensor.
-func Argmax(x *tensor.Tensor) []int {
+func Argmax[T tensor.Float](x *tensor.TensorOf[T]) []int {
 	n, k := x.Dim(0), x.Dim(1)
 	out := make([]int, n)
 	d := x.Data()

@@ -212,30 +212,37 @@ func (a *Arch) TrainFlopsPerSample() float64 { return 3 * a.FlopsPerSample() }
 // SizeBytes returns the serialized model size (communication payload).
 func (a *Arch) SizeBytes() int { return a.ParamCount() * BytesPerParam }
 
-// Build materializes the architecture into a trainable Network with weights
-// initialized from rng. rng is the only entropy source in the whole model
-// lifecycle — He init here (NewDense/NewConv2D) and dropout masks later all
-// draw from generators seeded from fl.Config.Seed, so initialization is
-// reproducible bit-for-bit from the seed. The fedlint nondet pass rejects
-// any call to the global math/rand functions in this package, keeping it
-// that way.
+// Build materializes the architecture into a trainable float64 Network
+// with weights initialized from rng. rng is the only entropy source in the
+// whole model lifecycle — He init here (NewDense/NewConv2D) and dropout
+// masks later all draw from generators seeded from fl.Config.Seed, so
+// initialization is reproducible bit-for-bit from the seed. The fedlint
+// nondet pass rejects any call to the global math/rand functions in this
+// package, keeping it that way.
 func (a *Arch) Build(rng *rand.Rand) *Network {
-	var layers []Layer
+	return BuildNetwork[float64](a, rng)
+}
+
+// BuildNetwork materializes the architecture at the chosen element type.
+// The rng draw sequence is independent of T, so float32 and float64
+// networks built from the same seed start from the same (rounded) weights.
+func BuildNetwork[T tensor.Float](a *Arch, rng *rand.Rand) *NetworkOf[T] {
+	var layers []LayerOf[T]
 	a.walk(func(s stage, c, h, w, flat int) {
 		switch s.kind {
 		case "conv":
-			layers = append(layers, NewConv2D(rng, c, s.outC, s.k, s.stride, s.pad))
+			layers = append(layers, NewConv2DOf[T](rng, c, s.outC, s.k, s.stride, s.pad))
 		case "pool":
-			layers = append(layers, NewMaxPool2D(s.k, s.stride))
+			layers = append(layers, NewMaxPool2DOf[T](s.k, s.stride))
 		case "relu":
-			layers = append(layers, NewReLU())
+			layers = append(layers, NewReLUOf[T]())
 		case "flatten":
-			layers = append(layers, NewFlatten())
+			layers = append(layers, NewFlattenOf[T]())
 		case "dense":
-			layers = append(layers, NewDense(rng, flat, s.outC))
+			layers = append(layers, NewDenseOf[T](rng, flat, s.outC))
 		}
 	})
-	net := NewNetwork(a.Name, layers...)
+	net := NewNetworkOf(a.Name, layers...)
 	net.arch = a
 	return net
 }

@@ -14,12 +14,12 @@ import (
 // same ratio so communication times match Table II.
 const BytesPerParam = 12
 
-// Network is a feed-forward stack of layers trained with softmax
-// cross-entropy.
-type Network struct {
+// NetworkOf is a feed-forward stack of layers trained with softmax
+// cross-entropy, generic over the tensor element type.
+type NetworkOf[T tensor.Float] struct {
 	// Arch is a short architecture label such as "LeNet" or "VGG6".
 	Arch   string
-	Layers []Layer
+	Layers []LayerOf[T]
 
 	// arch is the blueprint this network was built from (nil for networks
 	// assembled directly with NewNetwork); it enables Clone.
@@ -27,8 +27,11 @@ type Network struct {
 
 	// lossGrad is the persistent workspace for the logits gradient, so a
 	// steady-state TrainBatch allocates nothing.
-	lossGrad *tensor.Tensor
+	lossGrad *tensor.TensorOf[T]
 }
+
+// Network is the float64 network used throughout the federated engine.
+type Network = NetworkOf[float64]
 
 // reluFused is implemented by layers (Dense, Conv2D) whose forward pass
 // can absorb a directly following ReLU: the producer applies the clamp in
@@ -37,24 +40,31 @@ type Network struct {
 // while its Backward (which only reads the mask) runs unchanged, so
 // fusion never alters results, only removes a full pass over the
 // activation tensor.
-type reluFused interface {
-	forwardFusedReLU(x *tensor.Tensor, train bool, r *ReLU) *tensor.Tensor
+type reluFused[T tensor.Float] interface {
+	forwardFusedReLU(x *tensor.TensorOf[T], train bool, r *ReLUOf[T]) *tensor.TensorOf[T]
 }
 
-// NewNetwork builds a network from layers with the given architecture name.
+// NewNetwork builds a float64 network from layers with the given
+// architecture name.
 func NewNetwork(arch string, layers ...Layer) *Network {
-	return &Network{Arch: arch, Layers: layers}
+	return NewNetworkOf(arch, layers...)
+}
+
+// NewNetworkOf builds a network from layers with the given architecture
+// name.
+func NewNetworkOf[T tensor.Float](arch string, layers ...LayerOf[T]) *NetworkOf[T] {
+	return &NetworkOf[T]{Arch: arch, Layers: layers}
 }
 
 // Forward runs all layers and returns the logits. Dense/Conv2D layers
 // directly followed by a ReLU run as one fused kernel (see reluFused).
 //
 // fedlint:hotpath
-func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
+func (n *NetworkOf[T]) Forward(x *tensor.TensorOf[T], train bool) *tensor.TensorOf[T] {
 	for i := 0; i < len(n.Layers); i++ {
 		l := n.Layers[i]
-		if f, ok := l.(reluFused); ok && i+1 < len(n.Layers) {
-			if r, ok := n.Layers[i+1].(*ReLU); ok {
+		if f, ok := l.(reluFused[T]); ok && i+1 < len(n.Layers) {
+			if r, ok := n.Layers[i+1].(*ReLUOf[T]); ok {
 				x = f.forwardFusedReLU(x, train, r)
 				i++ // the ReLU already ran inside the producer's kernel
 				continue
@@ -69,7 +79,7 @@ func (n *Network) Forward(x *tensor.Tensor, train bool) *tensor.Tensor {
 // parameter gradients.
 //
 // fedlint:hotpath
-func (n *Network) Backward(grad *tensor.Tensor) {
+func (n *NetworkOf[T]) Backward(grad *tensor.TensorOf[T]) {
 	for i := len(n.Layers) - 1; i >= 0; i-- {
 		grad = n.Layers[i].Backward(grad)
 	}
@@ -79,7 +89,7 @@ func (n *Network) Backward(grad *tensor.Tensor) {
 // loss. Parameter gradients are left accumulated for the optimizer.
 //
 // fedlint:hotpath
-func (n *Network) TrainBatch(x *tensor.Tensor, labels []int) float64 {
+func (n *NetworkOf[T]) TrainBatch(x *tensor.TensorOf[T], labels []int) float64 {
 	logits := n.Forward(x, true)
 	n.lossGrad = tensor.EnsureShape(n.lossGrad, logits.Dim(0), logits.Dim(1))
 	loss := SoftmaxCrossEntropyInto(n.lossGrad, logits, labels)
@@ -88,13 +98,13 @@ func (n *Network) TrainBatch(x *tensor.Tensor, labels []int) float64 {
 }
 
 // Predict returns the predicted class per sample.
-func (n *Network) Predict(x *tensor.Tensor) []int {
+func (n *NetworkOf[T]) Predict(x *tensor.TensorOf[T]) []int {
 	return Argmax(n.Forward(x, false))
 }
 
 // Params returns every trainable parameter in layer order.
-func (n *Network) Params() []*Param {
-	var ps []*Param
+func (n *NetworkOf[T]) Params() []*ParamOf[T] {
+	var ps []*ParamOf[T]
 	for _, l := range n.Layers {
 		ps = append(ps, l.Params()...)
 	}
@@ -102,7 +112,7 @@ func (n *Network) Params() []*Param {
 }
 
 // ParamCount returns the total number of scalar parameters.
-func (n *Network) ParamCount() int {
+func (n *NetworkOf[T]) ParamCount() int {
 	total := 0
 	for _, p := range n.Params() {
 		total += p.W.Len()
@@ -112,7 +122,7 @@ func (n *Network) ParamCount() int {
 
 // ParamCounts returns the parameter totals split into convolutional and
 // dense classes — the two regressors of the profiler's step-1 model.
-func (n *Network) ParamCounts() (conv, dense int) {
+func (n *NetworkOf[T]) ParamCounts() (conv, dense int) {
 	for _, l := range n.Layers {
 		c, ok := l.(Classed)
 		if !ok {
@@ -134,7 +144,7 @@ func (n *Network) ParamCounts() (conv, dense int) {
 
 // FlopsPerSample estimates forward-pass FLOPs for a single sample. Training
 // costs roughly 3× this (forward + input-grad + weight-grad passes).
-func (n *Network) FlopsPerSample() float64 {
+func (n *NetworkOf[T]) FlopsPerSample() float64 {
 	total := 0.0
 	for _, l := range n.Layers {
 		if f, ok := l.(FlopsCounter); ok {
@@ -146,7 +156,7 @@ func (n *Network) FlopsPerSample() float64 {
 
 // SizeBytes returns the serialized model size used for communication-time
 // modelling.
-func (n *Network) SizeBytes() int {
+func (n *NetworkOf[T]) SizeBytes() int {
 	return n.ParamCount() * BytesPerParam
 }
 
@@ -156,13 +166,13 @@ func (n *Network) SizeBytes() int {
 // It returns nil when the network was assembled directly from layers
 // (no Arch blueprint to rebuild from); callers must fall back to using
 // the original sequentially.
-func (n *Network) Clone() *Network {
+func (n *NetworkOf[T]) Clone() *NetworkOf[T] {
 	if n.arch == nil {
 		return nil
 	}
 	// The fixed-seed source is fine here: Build's random init is fully
 	// overwritten by the copy below, so no entropy reaches the clone.
-	c := n.arch.Build(rand.New(rand.NewSource(0)))
+	c := BuildNetwork[T](n.arch, rand.New(rand.NewSource(0)))
 	src, dst := n.Params(), c.Params()
 	for i := range src {
 		copy(dst[i].W.Data(), src[i].W.Data())
@@ -173,9 +183,9 @@ func (n *Network) Clone() *Network {
 // Weights returns the live parameter tensors in order, without copying.
 // Callers must treat them as read-only; use GetWeights for an owned
 // snapshot. This is the zero-allocation path for weighted aggregation.
-func (n *Network) Weights() []*tensor.Tensor {
+func (n *NetworkOf[T]) Weights() []*tensor.TensorOf[T] {
 	ps := n.Params()
-	out := make([]*tensor.Tensor, len(ps))
+	out := make([]*tensor.TensorOf[T], len(ps))
 	for i, p := range ps {
 		out[i] = p.W
 	}
@@ -183,9 +193,9 @@ func (n *Network) Weights() []*tensor.Tensor {
 }
 
 // GetWeights returns a deep copy of all parameter tensors, in order.
-func (n *Network) GetWeights() []*tensor.Tensor {
+func (n *NetworkOf[T]) GetWeights() []*tensor.TensorOf[T] {
 	ps := n.Params()
-	out := make([]*tensor.Tensor, len(ps))
+	out := make([]*tensor.TensorOf[T], len(ps))
 	for i, p := range ps {
 		out[i] = p.W.Clone()
 	}
@@ -194,7 +204,7 @@ func (n *Network) GetWeights() []*tensor.Tensor {
 
 // SetWeights overwrites all parameters from the given tensors (same order
 // and shapes as GetWeights).
-func (n *Network) SetWeights(ws []*tensor.Tensor) {
+func (n *NetworkOf[T]) SetWeights(ws []*tensor.TensorOf[T]) {
 	ps := n.Params()
 	if len(ws) != len(ps) {
 		panic(fmt.Sprintf("nn: SetWeights got %d tensors, model has %d params", len(ws), len(ps)))
@@ -208,14 +218,14 @@ func (n *Network) SetWeights(ws []*tensor.Tensor) {
 }
 
 // ZeroGrads clears all accumulated gradients.
-func (n *Network) ZeroGrads() {
+func (n *NetworkOf[T]) ZeroGrads() {
 	for _, p := range n.Params() {
 		p.Grad.Zero()
 	}
 }
 
 // Summary renders a human-readable architecture description.
-func (n *Network) Summary() string {
+func (n *NetworkOf[T]) Summary() string {
 	var b strings.Builder
 	conv, dense := n.ParamCounts()
 	fmt.Fprintf(&b, "%s: %d params (conv %d, dense %d), %.1f MFLOPs/sample\n",

@@ -6,25 +6,48 @@ import (
 	"fmt"
 	"io"
 	"math"
+
+	"fedsched/internal/tensor"
 )
 
-// Weight checkpoint format: a small binary header followed by float64
-// parameter data in layer order. The format is versioned and validates the
+// Weight checkpoint format: a small binary header followed by parameter
+// data in layer order. The format is versioned and validates the
 // architecture name and parameter geometry on load, so a checkpoint cannot
 // silently load into the wrong model.
+//
+// Version 2 adds a dtype tag after the version word and stores parameter
+// data at the network's native element width (float32 checkpoints are half
+// the size). Version 1 checkpoints carry implicit float64 data and still
+// load. Loading converts across precisions: a float64 checkpoint loads
+// into a float32 network by rounding (and vice versa by widening), with
+// non-finite values — stored or produced by the narrowing — rejected.
 const (
 	checkpointMagic   = 0x46534348 // "FSCH"
-	checkpointVersion = 1
+	checkpointVersion = 2
+
+	checkpointF64 = 1
+	checkpointF32 = 2
 )
 
-// SaveWeights writes the network's parameters to w.
-func (n *Network) SaveWeights(w io.Writer) error {
+func checkpointDtype[T tensor.Float]() uint32 {
+	if tensor.Eps[T]() > 1e-10 {
+		return checkpointF32
+	}
+	return checkpointF64
+}
+
+// SaveWeights writes the network's parameters to w at the network's native
+// element width.
+func (n *NetworkOf[T]) SaveWeights(w io.Writer) error {
 	bw := bufio.NewWriter(w)
 	writeU32 := func(v uint32) error { return binary.Write(bw, binary.LittleEndian, v) }
 	if err := writeU32(checkpointMagic); err != nil {
 		return fmt.Errorf("nn: save header: %w", err)
 	}
 	if err := writeU32(checkpointVersion); err != nil {
+		return err
+	}
+	if err := writeU32(checkpointDtype[T]()); err != nil {
 		return err
 	}
 	name := []byte(n.Arch)
@@ -52,8 +75,9 @@ func (n *Network) SaveWeights(w io.Writer) error {
 }
 
 // LoadWeights restores parameters saved by SaveWeights. The checkpoint
-// must match this network's architecture name and parameter geometry.
-func (n *Network) LoadWeights(r io.Reader) error {
+// must match this network's architecture name and parameter geometry; its
+// element type may differ from the network's (values are converted).
+func (n *NetworkOf[T]) LoadWeights(r io.Reader) error {
 	br := bufio.NewReader(r)
 	var magic, version uint32
 	if err := binary.Read(br, binary.LittleEndian, &magic); err != nil {
@@ -65,7 +89,17 @@ func (n *Network) LoadWeights(r io.Reader) error {
 	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
 		return err
 	}
-	if version != checkpointVersion {
+	dtype := uint32(checkpointF64) // version 1 stored implicit float64
+	switch version {
+	case 1:
+	case 2:
+		if err := binary.Read(br, binary.LittleEndian, &dtype); err != nil {
+			return err
+		}
+		if dtype != checkpointF64 && dtype != checkpointF32 {
+			return fmt.Errorf("nn: unknown checkpoint dtype %d", dtype)
+		}
+	default:
 		return fmt.Errorf("nn: unsupported checkpoint version %d", version)
 	}
 	var nameLen uint32
@@ -101,13 +135,27 @@ func (n *Network) LoadWeights(r io.Reader) error {
 		d := p.W.Data()
 		for i := range d {
 			var v float64
-			if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
-				return fmt.Errorf("nn: load %s: %w", p.Name, err)
+			if dtype == checkpointF32 {
+				var f float32
+				if err := binary.Read(br, binary.LittleEndian, &f); err != nil {
+					return fmt.Errorf("nn: load %s: %w", p.Name, err)
+				}
+				v = float64(f)
+			} else {
+				if err := binary.Read(br, binary.LittleEndian, &v); err != nil {
+					return fmt.Errorf("nn: load %s: %w", p.Name, err)
+				}
 			}
 			if math.IsNaN(v) || math.IsInf(v, 0) {
 				return fmt.Errorf("nn: corrupt checkpoint: non-finite weight in %s", p.Name)
 			}
-			d[i] = v
+			t := T(v)
+			// A float64 value beyond float32 range narrows to ±Inf;
+			// reject rather than poison the network.
+			if math.IsInf(float64(t), 0) {
+				return fmt.Errorf("nn: weight in %s overflows the network's element type", p.Name)
+			}
+			d[i] = t
 		}
 	}
 	return nil

@@ -2,22 +2,33 @@ package nn
 
 import "fedsched/internal/tensor"
 
-// SGD is stochastic gradient descent with classical momentum and optional
-// L2 weight decay.
-type SGD struct {
+// SGDOf is stochastic gradient descent with classical momentum and optional
+// L2 weight decay, generic over the tensor element type. The scalar
+// hyper-parameters stay float64 and are rounded to the element type inside
+// the tensor AXPY kernels, so the float64 instantiation is bit-identical
+// to the historical implementation.
+type SGDOf[T tensor.Float] struct {
 	LR       float64
 	Momentum float64
 	Decay    float64
-	velocity map[*Param]*tensor.Tensor
+	velocity map[*ParamOf[T]]*tensor.TensorOf[T]
 }
 
-// NewSGD constructs an SGD optimizer.
+// SGD is the float64 optimizer used throughout the federated engine.
+type SGD = SGDOf[float64]
+
+// NewSGD constructs a float64 SGD optimizer.
 func NewSGD(lr, momentum, decay float64) *SGD {
-	return &SGD{LR: lr, Momentum: momentum, Decay: decay, velocity: make(map[*Param]*tensor.Tensor)}
+	return NewSGDOf[float64](lr, momentum, decay)
+}
+
+// NewSGDOf constructs an SGD optimizer.
+func NewSGDOf[T tensor.Float](lr, momentum, decay float64) *SGDOf[T] {
+	return &SGDOf[T]{LR: lr, Momentum: momentum, Decay: decay, velocity: make(map[*ParamOf[T]]*tensor.TensorOf[T])}
 }
 
 // Step applies one update to every parameter and zeroes the gradients.
-func (s *SGD) Step(params []*Param) {
+func (s *SGDOf[T]) Step(params []*ParamOf[T]) {
 	for _, p := range params {
 		g := p.Grad
 		if s.Decay > 0 {
@@ -26,7 +37,7 @@ func (s *SGD) Step(params []*Param) {
 		if s.Momentum > 0 {
 			v, ok := s.velocity[p]
 			if !ok {
-				v = tensor.New(p.W.Shape()...)
+				v = tensor.NewOf[T](p.W.Shape()...)
 				s.velocity[p] = v
 			}
 			v.Scale(s.Momentum)
@@ -41,6 +52,6 @@ func (s *SGD) Step(params []*Param) {
 
 // Reset discards momentum state (used when a client receives fresh global
 // weights at the start of a federated round).
-func (s *SGD) Reset() {
-	s.velocity = make(map[*Param]*tensor.Tensor)
+func (s *SGDOf[T]) Reset() {
+	s.velocity = make(map[*ParamOf[T]]*tensor.TensorOf[T])
 }

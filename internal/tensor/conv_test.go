@@ -1,0 +1,233 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// convCase is one point of the implicit-vs-im2col property grid,
+// covering degenerate 1×1 kernels, edge padding (pad ≥ k/2 so whole
+// patch rows are out of bounds), stride > 1, and multi-channel shapes
+// large enough to cross the blocked-dispatch cutoff.
+type convCase struct {
+	n, c, h, w, f, k, stride, pad int
+}
+
+var convCases = []convCase{
+	{2, 1, 8, 8, 3, 3, 1, 1},
+	{1, 3, 7, 7, 4, 5, 1, 2},
+	{2, 2, 9, 9, 2, 3, 2, 1},
+	{1, 1, 5, 5, 1, 5, 1, 0},
+	{1, 2, 6, 6, 3, 1, 1, 0},   // 1×1 kernel
+	{2, 1, 4, 4, 2, 1, 2, 0},   // 1×1 kernel, stride 2
+	{1, 1, 3, 3, 2, 3, 1, 2},   // pad > (k-1)/2: fully-padded border rows
+	{3, 4, 12, 12, 6, 3, 1, 1}, // crosses the blocked-dispatch cutoff
+	{2, 5, 10, 10, 8, 5, 2, 2},
+}
+
+// oracleConv runs the retained materialized path — im2col, the three
+// plain GEMM entry points, col2im — exactly as the pre-implicit conv
+// layer did, returning (ym+bias, dw, dx) for one (x, w, bias, gm).
+func oracleConv[T Float](x, w, bias, gm *TensorOf[T], k, stride, pad int) (ym, dw, dx *TensorOf[T]) {
+	cols := im2col(x, k, k, stride, pad)
+	ym = NewOf[T](cols.Dim(0), w.Dim(0))
+	MatMulTransBBiasInto(ym, cols, w, bias)
+	dw = NewOf[T](w.Dim(0), w.Dim(1))
+	MatMulTransAInto(dw, gm, cols)
+	dcols := NewOf[T](cols.Dim(0), cols.Dim(1))
+	MatMulInto(dcols, gm, w)
+	dx = NewOf[T](x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3))
+	col2imInto(dx, dcols, k, k, stride, pad)
+	return ym, dw, dx
+}
+
+// implicitConv runs the three implicit-GEMM kernels on the same inputs.
+func implicitConv[T Float](x, w, bias, gm *TensorOf[T], k, stride, pad int) (ym, dw, dx *TensorOf[T]) {
+	oh := ConvOutSize(x.Dim(2), k, stride, pad)
+	ow := ConvOutSize(x.Dim(3), k, stride, pad)
+	m := x.Dim(0) * oh * ow
+	ym = NewOf[T](m, w.Dim(0))
+	ConvForwardInto(ym, x, w, bias, k, k, stride, pad)
+	dw = NewOf[T](w.Dim(0), w.Dim(1))
+	ConvGradWeightsInto(dw, gm, x, k, k, stride, pad)
+	dx = NewOf[T](x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3))
+	ConvGradInputInto(dx, gm, w, k, k, stride, pad)
+	return ym, dw, dx
+}
+
+func bitsEqual[T Float](a, b *TensorOf[T]) (int, bool) {
+	for i := range a.Data() {
+		av, bv := float64(a.Data()[i]), float64(b.Data()[i])
+		if math.Float64bits(av) != math.Float64bits(bv) {
+			return i, false
+		}
+	}
+	return 0, true
+}
+
+// testConvImplicitMatchesOracle pins the headline implicit-GEMM claim:
+// forward, weight-gradient and input-gradient match the materialized
+// im2col path bit-for-bit (not just within tolerance) on the whole
+// geometry grid — virtual packing synthesizes the same panels, the
+// blocked core and dispatch cutoffs are shared, and ±0 bookkeeping of
+// padded taps cannot leak into any sum.
+func testConvImplicitMatchesOracle[T Float](t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for _, tc := range convCases {
+		x := randTensorOf[T](rng, tc.n, tc.c, tc.h, tc.w)
+		w := randTensorOf[T](rng, tc.f, tc.c*tc.k*tc.k)
+		bias := randTensorOf[T](rng, tc.f)
+		oh := ConvOutSize(tc.h, tc.k, tc.stride, tc.pad)
+		ow := ConvOutSize(tc.w, tc.k, tc.stride, tc.pad)
+		gm := randTensorOf[T](rng, tc.n*oh*ow, tc.f)
+
+		wantY, wantDW, wantDX := oracleConv(x, w, bias, gm, tc.k, tc.stride, tc.pad)
+		gotY, gotDW, gotDX := implicitConv(x, w, bias, gm, tc.k, tc.stride, tc.pad)
+
+		if i, ok := bitsEqual(wantY, gotY); !ok {
+			t.Fatalf("case %+v: forward differs at %d: %g vs %g", tc, i, wantY.Data()[i], gotY.Data()[i])
+		}
+		if i, ok := bitsEqual(wantDW, gotDW); !ok {
+			t.Fatalf("case %+v: dW differs at %d: %g vs %g", tc, i, wantDW.Data()[i], gotDW.Data()[i])
+		}
+		if i, ok := bitsEqual(wantDX, gotDX); !ok {
+			t.Fatalf("case %+v: dX differs at %d: %g vs %g", tc, i, wantDX.Data()[i], gotDX.Data()[i])
+		}
+	}
+}
+
+func TestConvImplicitMatchesIm2ColOracle(t *testing.T) {
+	t.Run("f64", testConvImplicitMatchesOracle[float64])
+	t.Run("f32", testConvImplicitMatchesOracle[float32])
+}
+
+// TestConvImplicitBitIdenticalAcrossLanes mirrors the GEMM lane-
+// determinism tests for the implicit conv kernels: a geometry big enough
+// to fan out across lanes must produce bit-identical results for every
+// lane count, in both precisions.
+func TestConvImplicitBitIdenticalAcrossLanes(t *testing.T) {
+	t.Run("f64", testConvLaneDeterminism[float64])
+	t.Run("f32", testConvLaneDeterminism[float32])
+}
+
+func testConvLaneDeterminism[T Float](t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	// Batch 8, 20→40 channels at 12×12, k=5: the forward GEMM is
+	// 512×500×40 ≫ the parallel cutoff with multiple grid cells.
+	n, c, h, wdt, f, k, stride, pad := 8, 20, 12, 12, 40, 5, 1, 0
+	x := randTensorOf[T](rng, n, c, h, wdt)
+	w := randTensorOf[T](rng, f, c*k*k)
+	bias := randTensorOf[T](rng, f)
+	oh := ConvOutSize(h, k, stride, pad)
+	ow := ConvOutSize(wdt, k, stride, pad)
+	gm := randTensorOf[T](rng, n*oh*ow, f)
+
+	var refY, refDW, refDX *TensorOf[T]
+	withLanes(t, 0, func() { refY, refDW, refDX = implicitConv(x, w, bias, gm, k, stride, pad) })
+	for _, lanes := range []int{1, 2, 3, 8} {
+		var gotY, gotDW, gotDX *TensorOf[T]
+		withLanes(t, lanes, func() { gotY, gotDW, gotDX = implicitConv(x, w, bias, gm, k, stride, pad) })
+		if i, ok := bitsEqual(refY, gotY); !ok {
+			t.Fatalf("lanes=%d: forward differs at %d", lanes, i)
+		}
+		if i, ok := bitsEqual(refDW, gotDW); !ok {
+			t.Fatalf("lanes=%d: dW differs at %d", lanes, i)
+		}
+		if i, ok := bitsEqual(refDX, gotDX); !ok {
+			t.Fatalf("lanes=%d: dX differs at %d", lanes, i)
+		}
+	}
+}
+
+// TestConvGradInputChunkBoundaries forces several chunk sizes through
+// odd kdim values (kdim not dividing convChunkElems) and kdim larger
+// than one chunk, so the chunked scatter's bookkeeping at both ends is
+// covered.
+func TestConvGradInputChunkBoundaries(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	for _, tc := range []convCase{
+		{1, 7, 9, 9, 3, 3, 1, 1},   // kdim=63: 16384/63 = 260 rows per chunk, m=81 → single short chunk
+		{4, 6, 17, 17, 2, 5, 2, 2}, // kdim=150, m=324: multiple chunks with ragged tail
+	} {
+		w := randTensorOf[float64](rng, tc.f, tc.c*tc.k*tc.k)
+		oh := ConvOutSize(tc.h, tc.k, tc.stride, tc.pad)
+		ow := ConvOutSize(tc.w, tc.k, tc.stride, tc.pad)
+		gm := randTensorOf[float64](rng, tc.n*oh*ow, tc.f)
+
+		dcols := NewOf[float64](tc.n*oh*ow, tc.c*tc.k*tc.k)
+		MatMulInto(dcols, gm, w)
+		want := NewOf[float64](tc.n, tc.c, tc.h, tc.w)
+		col2imInto(want, dcols, tc.k, tc.k, tc.stride, tc.pad)
+
+		got := NewOf[float64](tc.n, tc.c, tc.h, tc.w)
+		ConvGradInputInto(got, gm, w, tc.k, tc.k, tc.stride, tc.pad)
+		if i, ok := bitsEqual(want, got); !ok {
+			t.Fatalf("case %+v: dX differs at %d: %g vs %g", tc, i, want.Data()[i], got.Data()[i])
+		}
+	}
+}
+
+// Implicit-GEMM vs materialized-im2col layer benchmarks on the two
+// recorded conv geometries (LeNet conv2 and VGG6 block-3 at batch 20).
+// The im2col variants pre-allocate their cols/dcols workspaces outside
+// the timer, exactly like the old conv layer did, so ns/op isolates the
+// kernel and bytes/op isolates steady-state allocation traffic.
+func benchConvShape[T Float](b *testing.B, implicit bool, n, c, h, wdt, f, k, stride, pad int) {
+	rng := rand.New(rand.NewSource(1))
+	x := randTensorOf[T](rng, n, c, h, wdt)
+	w := randTensorOf[T](rng, f, c*k*k)
+	bias := randTensorOf[T](rng, f)
+	oh := ConvOutSize(h, k, stride, pad)
+	ow := ConvOutSize(wdt, k, stride, pad)
+	m := n * oh * ow
+	kdim := c * k * k
+	gm := randTensorOf[T](rng, m, f)
+	ym := NewOf[T](m, f)
+	dw := NewOf[T](f, kdim)
+	dx := NewOf[T](n, c, h, wdt)
+	old := MaxLanes()
+	SetMaxLanes(0)
+	defer SetMaxLanes(old)
+	if implicit {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ConvForwardInto(ym, x, w, bias, k, k, stride, pad)
+			ConvGradWeightsInto(dw, gm, x, k, k, stride, pad)
+			ConvGradInputInto(dx, gm, w, k, k, stride, pad)
+		}
+		return
+	}
+	cols := NewOf[T](m, kdim)
+	dcols := NewOf[T](m, kdim)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		im2colInto(cols, x, k, k, stride, pad)
+		MatMulTransBBiasInto(ym, cols, w, bias)
+		MatMulTransAInto(dw, gm, cols)
+		MatMulInto(dcols, gm, w)
+		col2imInto(dx, dcols, k, k, stride, pad)
+	}
+}
+
+// LeNet conv2: (20, 20, 12, 12) input, 40 filters of 5×5 → GEMM 1280×500×40.
+func BenchmarkConvIm2ColLeNetConv2(b *testing.B) {
+	benchConvShape[float64](b, false, 20, 20, 12, 12, 40, 5, 1, 0)
+}
+func BenchmarkConvImplicitLeNetConv2(b *testing.B) {
+	benchConvShape[float64](b, true, 20, 20, 12, 12, 40, 5, 1, 0)
+}
+func BenchmarkConvImplicitF32LeNetConv2(b *testing.B) {
+	benchConvShape[float32](b, true, 20, 20, 12, 12, 40, 5, 1, 0)
+}
+
+// VGG6 block-3: (20, 80, 7, 7) input, 96 filters of 3×3 pad 1 → GEMM 980×720×96.
+func BenchmarkConvIm2ColVGG6Block3(b *testing.B) {
+	benchConvShape[float64](b, false, 20, 80, 7, 7, 96, 3, 1, 1)
+}
+func BenchmarkConvImplicitVGG6Block3(b *testing.B) {
+	benchConvShape[float64](b, true, 20, 80, 7, 7, 96, 3, 1, 1)
+}
+func BenchmarkConvImplicitF32VGG6Block3(b *testing.B) {
+	benchConvShape[float32](b, true, 20, 80, 7, 7, 96, 3, 1, 1)
+}

@@ -1,0 +1,460 @@
+package tensor
+
+import "sync"
+
+// Implicit-GEMM convolution. The im2col lowering turns a convolution
+// into three GEMMs, but materializing the (N·OH·OW)×(C·KH·KW) patch
+// matrix was the largest steady-state buffer in training (5 MB for
+// LeNet conv2 at batch 20 — bigger than the model). The kernels here
+// run the exact same blocked GEMMs against *virtual* im2col operands:
+// the packing stage (which already copies every operand into
+// micro-panels) synthesizes patch elements straight from the (N,C,H,W)
+// input with on-the-fly offset arithmetic, so the patch matrix never
+// exists in memory.
+//
+// Bit-compatibility with the materialized path is by construction, and
+// property tests in conv_test.go pin it: the virtual packers produce the
+// same panel contents as packA/packB over im2col output (padding reads
+// as zero either way), the blocked core is shared, and the small-shape
+// naive paths below replicate the exact loop order of the naive matmul
+// kernels the old path dispatched to at the same (unchanged) volume
+// cutoffs. Skipping an out-of-bounds term instead of adding a
+// materialized 0·w is bit-safe: a +0-initialized accumulator never
+// becomes -0 under round-to-nearest, so the ±0 contribution of a padded
+// product cannot change any sum.
+
+// convGeom is the geometry of one convolution: input (n,c,h,w), kernel
+// (kh,kw), stride, pad, and the derived output size (oh,ow). It defines
+// the virtual im2col matrix of shape (n·oh·ow, c·kh·kw) whose element
+// (row=(img,oy,ox), col=(ch,ky,kx)) reads x[img, ch, oy·stride-pad+ky,
+// ox·stride-pad+kx], or zero out of bounds.
+type convGeom struct {
+	n, c, h, w  int
+	kh, kw      int
+	stride, pad int
+	oh, ow      int
+}
+
+func makeConvGeom(x []int, kh, kw, stride, pad int) convGeom {
+	return convGeom{
+		n: x[0], c: x[1], h: x[2], w: x[3],
+		kh: kh, kw: kw, stride: stride, pad: pad,
+		oh: ConvOutSize(x[2], kh, stride, pad),
+		ow: ConvOutSize(x[3], kw, stride, pad),
+	}
+}
+
+// rows and cols of the virtual im2col matrix.
+func (g *convGeom) rows() int { return g.n * g.oh * g.ow }
+func (g *convGeom) cols() int { return g.c * g.kh * g.kw }
+
+// packAConv packs the mc×kc block at (i0, p0) of the virtual im2col
+// matrix as column-major micro-panels of mr rows — the implicit
+// counterpart of packA. Per micro-panel it decomposes the row indices
+// into (image base, window origin) once, then walks the patch coordinate
+// (ch, ky, kx) incrementally down the k range; out-of-bounds taps write
+// the zero the materialized matrix would have held.
+func packAConv[T Float](ap, xd []T, g *convGeom, i0, p0, mc, kc, mr int) {
+	khw := g.kh * g.kw
+	ohw := g.oh * g.ow
+	chw := g.c * g.h * g.w
+	hw := g.h * g.w
+	idx := 0
+	for ir := 0; ir < mc; ir += mr {
+		rows := min(mr, mc-ir)
+		var imgBase, iy0s, ix0s [gemmMaxMR]int
+		for r := 0; r < rows; r++ {
+			i := i0 + ir + r
+			img := i / ohw
+			rem := i - img*ohw
+			oy := rem / g.ow
+			ox := rem - oy*g.ow
+			imgBase[r] = img * chw
+			iy0s[r] = oy*g.stride - g.pad
+			ix0s[r] = ox*g.stride - g.pad
+		}
+		ch := p0 / khw
+		rem := p0 - ch*khw
+		ky := rem / g.kw
+		kx := rem - ky*g.kw
+		for l := 0; l < kc; l++ {
+			chOff := ch * hw
+			for r := 0; r < rows; r++ {
+				iy := iy0s[r] + ky
+				ix := ix0s[r] + kx
+				var v T
+				if uint(iy) < uint(g.h) && uint(ix) < uint(g.w) {
+					v = xd[imgBase[r]+chOff+iy*g.w+ix]
+				}
+				ap[idx+r] = v
+			}
+			for r := rows; r < mr; r++ {
+				ap[idx+r] = 0
+			}
+			idx += mr
+			kx++
+			if kx == g.kw {
+				kx = 0
+				ky++
+				if ky == g.kh {
+					ky = 0
+					ch++
+				}
+			}
+		}
+	}
+}
+
+// packBConv packs the kc×nc block at (p0, j0) of the virtual im2col
+// matrix viewed as the B operand (row = position, column = patch
+// coordinate) as row-major micro-panels of nr columns — the implicit
+// counterpart of packB, used by the weight-gradient GEMM. Per micro-panel
+// it decomposes the patch-coordinate columns once, then walks the
+// position (img, oy, ox) incrementally down the k range.
+func packBConv[T Float](bp, xd []T, g *convGeom, p0, j0, kc, nc, nr int) {
+	khw := g.kh * g.kw
+	ohw := g.oh * g.ow
+	chw := g.c * g.h * g.w
+	hw := g.h * g.w
+	idx := 0
+	for jr := 0; jr < nc; jr += nr {
+		cols := min(nr, nc-jr)
+		var chOffs, kys, kxs [gemmMaxNR]int
+		for cj := 0; cj < cols; cj++ {
+			j := j0 + jr + cj
+			ch := j / khw
+			rem := j - ch*khw
+			kys[cj] = rem / g.kw
+			kxs[cj] = rem - kys[cj]*g.kw
+			chOffs[cj] = ch * hw
+		}
+		img := p0 / ohw
+		rem := p0 - img*ohw
+		oy := rem / g.ow
+		ox := rem - oy*g.ow
+		for l := 0; l < kc; l++ {
+			iy0 := oy*g.stride - g.pad
+			ix0 := ox*g.stride - g.pad
+			base := img * chw
+			for cj := 0; cj < cols; cj++ {
+				iy := iy0 + kys[cj]
+				ix := ix0 + kxs[cj]
+				var v T
+				if uint(iy) < uint(g.h) && uint(ix) < uint(g.w) {
+					v = xd[base+chOffs[cj]+iy*g.w+ix]
+				}
+				bp[idx+cj] = v
+			}
+			for cj := cols; cj < nr; cj++ {
+				bp[idx+cj] = 0
+			}
+			idx += nr
+			ox++
+			if ox == g.ow {
+				ox = 0
+				oy++
+				if oy == g.oh {
+					oy = 0
+					img++
+				}
+			}
+		}
+	}
+}
+
+// ConvForwardInto computes the convolution forward pass
+// ym = im2col(x)·Wᵀ + bias without materializing im2col(x). ym must be
+// (N·OH·OW)×OutC (the NHWC-ordered matmul layout the conv layer
+// re-permutes), x (N,C,H,W), w (OutC, C·KH·KW), bias length OutC.
+//
+// fedlint:hotpath
+func ConvForwardInto[T Float](ym, x, w, bias *TensorOf[T], kh, kw, stride, pad int) {
+	g := makeConvGeom(x.shape, kh, kw, stride, pad)
+	m, kdim := g.rows(), g.cols()
+	nOut := w.Dim(0)
+	if w.Dim(1) != kdim {
+		panic("tensor: ConvForwardInto weight shape mismatch")
+	}
+	if ym.Dim(0) != m || ym.Dim(1) != nOut {
+		panic("tensor: ConvForwardInto output shape mismatch")
+	}
+	if bias.Len() != nOut {
+		panic("tensor: ConvForwardInto bias length mismatch")
+	}
+	if m == 0 || nOut == 0 {
+		return
+	}
+	e := epi[T]{bias: bias.data}
+	if m*nOut*kdim <= gemmSmallCutoff {
+		naiveConvForward(ym.data, x.data, w.data, &g, nOut)
+		applyEpi(ym.data, nOut, 0, m, 0, nOut, e)
+		return
+	}
+	mr, nr := microTile[T]()
+	gemmBlockedOps(ym.data,
+		packSrc[T]{d: x.data, geom: g, virt: true},
+		packSrc[T]{d: w.data, rs: 1, cs: kdim},
+		m, nOut, kdim, mr, nr, e)
+}
+
+// naiveConvForward replicates naiveMatMulTransBInto over the virtual
+// im2col rows: per output element one dot product in ascending
+// (ch, ky, kx) order, out-of-bounds taps skipped.
+func naiveConvForward[T Float](ymd, xd, wd []T, g *convGeom, nOut int) {
+	kdim := g.cols()
+	hw := g.h * g.w
+	i := 0
+	for img := 0; img < g.n; img++ {
+		base := img * g.c * hw
+		for oy := 0; oy < g.oh; oy++ {
+			for ox := 0; ox < g.ow; ox++ {
+				iy0 := oy*g.stride - g.pad
+				ix0 := ox*g.stride - g.pad
+				ci := ymd[i*nOut : (i+1)*nOut]
+				for j := 0; j < nOut; j++ {
+					wj := wd[j*kdim : (j+1)*kdim]
+					var s T
+					idx := 0
+					for ch := 0; ch < g.c; ch++ {
+						chBase := base + ch*hw
+						for ky := 0; ky < g.kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= g.h {
+								idx += g.kw
+								continue
+							}
+							srcRow := chBase + iy*g.w
+							for kx := 0; kx < g.kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= g.w {
+									idx++
+									continue
+								}
+								s += xd[srcRow+ix] * wj[idx]
+								idx++
+							}
+						}
+					}
+					ci[j] = s
+				}
+				i++
+			}
+		}
+	}
+}
+
+// ConvGradWeightsInto computes the weight gradient dw = gmᵀ·im2col(x)
+// without materializing im2col(x). dw must be (OutC, C·KH·KW) and is
+// fully overwritten; gm is the (N·OH·OW)×OutC output gradient in matmul
+// layout.
+//
+// fedlint:hotpath
+func ConvGradWeightsInto[T Float](dw, gm, x *TensorOf[T], kh, kw, stride, pad int) {
+	g := makeConvGeom(x.shape, kh, kw, stride, pad)
+	pos, kdim := g.rows(), g.cols()
+	nOut := gm.Dim(1)
+	if gm.Dim(0) != pos {
+		panic("tensor: ConvGradWeightsInto gradient shape mismatch")
+	}
+	if dw.Dim(0) != nOut || dw.Dim(1) != kdim {
+		panic("tensor: ConvGradWeightsInto output shape mismatch")
+	}
+	if nOut == 0 || kdim == 0 {
+		return
+	}
+	if pos == 0 {
+		dw.Zero()
+		return
+	}
+	if nOut*kdim*pos <= gemmSmallCutoff {
+		naiveConvDW(dw.data, gm.data, x.data, &g, nOut)
+		return
+	}
+	mr, nr := microTile[T]()
+	gemmBlockedOps(dw.data,
+		packSrc[T]{d: gm.data, rs: 1, cs: nOut},
+		packSrc[T]{d: x.data, geom: g, virt: true},
+		nOut, kdim, pos, mr, nr, epi[T]{})
+}
+
+// naiveConvDW replicates naiveMatMulTransAInto over the virtual im2col
+// rows: positions outermost (ascending — the k reduction), the usual
+// exact-zero skip on the gradient value, patch taps ascending within.
+func naiveConvDW[T Float](dwd, gmd, xd []T, g *convGeom, nOut int) {
+	kdim := g.cols()
+	hw := g.h * g.w
+	for i := range dwd {
+		dwd[i] = 0
+	}
+	l := 0
+	for img := 0; img < g.n; img++ {
+		base := img * g.c * hw
+		for oy := 0; oy < g.oh; oy++ {
+			for ox := 0; ox < g.ow; ox++ {
+				iy0 := oy*g.stride - g.pad
+				ix0 := ox*g.stride - g.pad
+				arow := gmd[l*nOut : (l+1)*nOut]
+				for i, av := range arow {
+					if av == 0 { //fedlint:allow floateq — exact-zero sparsity sentinel: skipping a true 0 never changes the sum
+						continue
+					}
+					ci := dwd[i*kdim : (i+1)*kdim]
+					idx := 0
+					for ch := 0; ch < g.c; ch++ {
+						chBase := base + ch*hw
+						for ky := 0; ky < g.kh; ky++ {
+							iy := iy0 + ky
+							if iy < 0 || iy >= g.h {
+								idx += g.kw
+								continue
+							}
+							srcRow := chBase + iy*g.w
+							for kx := 0; kx < g.kw; kx++ {
+								ix := ix0 + kx
+								if ix < 0 || ix >= g.w {
+									idx++
+									continue
+								}
+								ci[idx] += av * xd[srcRow+ix]
+								idx++
+							}
+						}
+					}
+				}
+				l++
+			}
+		}
+	}
+}
+
+// convChunkElems bounds the pooled scratch for the input-gradient pass:
+// the virtual patch-gradient matrix is computed and scattered in row
+// chunks of at most this many elements (128 KB at f64), replacing the
+// full materialized dcols buffer. Chunk boundaries cannot affect bits:
+// every chunk element is one complete ascending-k dot product, and the
+// scatter runs in the exact col2imInto order across chunks.
+const convChunkElems = 1 << 14
+
+// convScratch is the pooled chunk buffer for ConvGradInputInto, grown to
+// the largest chunk a geometry needs and reused thereafter.
+type convScratch[T Float] struct{ buf []T }
+
+var convPool64 = sync.Pool{New: func() any { return &convScratch[float64]{} }}
+var convPool32 = sync.Pool{New: func() any { return &convScratch[float32]{} }}
+
+func convScratchPool[T Float]() *sync.Pool {
+	if isF32[T]() {
+		return &convPool32
+	}
+	return &convPool64
+}
+
+// ConvGradInputInto computes the input gradient dx = col2im(gm·W)
+// without materializing the (N·OH·OW)×(C·KH·KW) patch-gradient matrix:
+// row chunks of gm·W are computed into a bounded pooled buffer and
+// scattered immediately, in the same global accumulation order as the
+// materialized col2im. dx must be (N,C,H,W) and is fully overwritten.
+//
+// fedlint:hotpath
+func ConvGradInputInto[T Float](dx, gm, w *TensorOf[T], kh, kw, stride, pad int) {
+	g := makeConvGeom(dx.shape, kh, kw, stride, pad)
+	pos, kdim := g.rows(), g.cols()
+	nOut := w.Dim(0)
+	if w.Dim(1) != kdim {
+		panic("tensor: ConvGradInputInto weight shape mismatch")
+	}
+	if gm.Dim(0) != pos || gm.Dim(1) != nOut {
+		panic("tensor: ConvGradInputInto gradient shape mismatch")
+	}
+	dx.Zero()
+	if pos == 0 || kdim == 0 || nOut == 0 {
+		return
+	}
+	chunk := max(1, convChunkElems/kdim)
+	pool := convScratchPool[T]()
+	s := pool.Get().(*convScratch[T])
+	need := min(chunk, pos) * kdim
+	if cap(s.buf) < need {
+		s.buf = make([]T, need) //fedlint:allow hotalloc — grows once per conv geometry, pooled and reused thereafter
+	}
+	buf := s.buf[:need]
+	mr, nr := microTile[T]()
+	gmd, wd, dxd := gm.data, w.data, dx.data
+	for r0 := 0; r0 < pos; r0 += chunk {
+		rows := min(chunk, pos-r0)
+		cbuf := buf[:rows*kdim]
+		if rows*kdim*nOut <= gemmSmallCutoff {
+			naiveRawAB(cbuf, gmd[r0*nOut:], wd, rows, kdim, nOut)
+		} else {
+			gemmBlockedOps(cbuf,
+				packSrc[T]{d: gmd[r0*nOut:], rs: nOut, cs: 1},
+				packSrc[T]{d: wd, rs: kdim, cs: 1},
+				rows, kdim, nOut, mr, nr, epi[T]{})
+		}
+		convScatterChunk(dxd, cbuf, &g, r0, rows)
+	}
+	pool.Put(s)
+}
+
+// naiveRawAB is naiveMatMulInto over raw row-major slices: C(m×n) =
+// A(m×k)·B(k×n) with the exact-zero row skip, i-k-j order.
+func naiveRawAB[T Float](cd, ad, bd []T, m, n, k int) {
+	for i := range cd[:m*n] {
+		cd[i] = 0
+	}
+	for i := 0; i < m; i++ {
+		ci := cd[i*n : (i+1)*n]
+		for l := 0; l < k; l++ {
+			av := ad[i*k+l]
+			if av == 0 { //fedlint:allow floateq — exact-zero sparsity sentinel: skipping a true 0 never changes the sum
+				continue
+			}
+			bi := bd[l*n : (l+1)*n]
+			for j, bv := range bi {
+				ci[j] += av * bv
+			}
+		}
+	}
+}
+
+// convScatterChunk accumulates rows [r0, r0+rows) of the virtual
+// patch-gradient matrix (held in buf) into dx, in col2imInto's order:
+// ascending row, then ascending (ch, ky, kx), skipping padding taps.
+func convScatterChunk[T Float](dxd, buf []T, g *convGeom, r0, rows int) {
+	khw := g.kh * g.kw
+	ohw := g.oh * g.ow
+	chw := g.c * g.h * g.w
+	hw := g.h * g.w
+	kdim := g.c * khw
+	for r := 0; r < rows; r++ {
+		i := r0 + r
+		img := i / ohw
+		rem := i - img*ohw
+		oy := rem / g.ow
+		ox := rem - oy*g.ow
+		iy0 := oy*g.stride - g.pad
+		ix0 := ox*g.stride - g.pad
+		base := img * chw
+		idx := r * kdim
+		for ch := 0; ch < g.c; ch++ {
+			chBase := base + ch*hw
+			for ky := 0; ky < g.kh; ky++ {
+				iy := iy0 + ky
+				if iy < 0 || iy >= g.h {
+					idx += g.kw
+					continue
+				}
+				dstRow := chBase + iy*g.w
+				for kx := 0; kx < g.kw; kx++ {
+					ix := ix0 + kx
+					if ix < 0 || ix >= g.w {
+						idx++
+						continue
+					}
+					dxd[dstRow+ix] += buf[idx]
+					idx++
+				}
+			}
+		}
+	}
+}

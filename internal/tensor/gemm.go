@@ -1,8 +1,12 @@
 package tensor
 
-import "sync"
+import (
+	"sync"
+	"unsafe"
+)
 
-// Blocked, packed GEMM core with fused epilogues.
+// Blocked, packed GEMM core with fused epilogues, generic over the
+// element type.
 //
 // Every matrix multiply in this package (plain, Aᵀ·B, A·Bᵀ) routes through
 // gemm, which dispatches between a naive single-threaded kernel for tiny
@@ -12,12 +16,18 @@ import "sync"
 //   - Each cell is computed start-to-finish by exactly one goroutine: it
 //     walks the k dimension in gemmKC panels (in ascending order), packs
 //     the A and B panels into per-goroutine scratch (pack.go), and runs a
-//     gemmMR×gemmNR register-tiled micro-kernel over the packed panels
-//     (4×2 — sized to the amd64 register file, see micro4x2).
+//     register-tiled micro-kernel over the packed panels (4×2 scalar at
+//     float64, 8×4 SSE at float32 — see microTile and gemm_f32_amd64.s).
 //     The first k-panel stores into C (implicit beta=0 — callers never
 //     pre-zero), subsequent panels accumulate.
 //   - After the k loop the cell owner applies the fused epilogue (+bias,
 //     +bias→ReLU with optional mask capture) to its region of C.
+//
+// Operands are described by packSrc: either a real strided matrix, or a
+// virtual im2col matrix whose panels are synthesized on the fly from the
+// convolution input (implicit GEMM, convgemm.go) — the blocked core is
+// identical either way, so convolution inherits every determinism
+// property below without a materialized im2col buffer.
 //
 // Determinism: the cell grid and panel boundaries depend only on the
 // problem shape (compile-time constants), and each output element is
@@ -25,7 +35,10 @@ import "sync"
 // floating-point accumulation order never depends on how many lanes the
 // semaphore granted. Results are therefore bit-identical for any lane
 // count, which the federated engines' bit-identical-history guarantee
-// (internal/fl) inherits.
+// (internal/fl) inherits. The register tile shape does not participate
+// in that argument (each output element is a strictly-ascending-k sum
+// within each KC panel for every tile), so the f32 SIMD tile and the
+// scalar fallback produce bit-identical results too.
 
 // gemmSmallCutoff is the m·n·k volume below which the retained naive
 // kernels win (no packing or pool traffic). Depends only on the shape,
@@ -36,33 +49,82 @@ const gemmSmallCutoff = 4096
 // does not ask the lane semaphore for help.
 const gemmParallelCutoff = 1 << 18
 
+// gemmAccLen sizes the shared micro-kernel accumulator: one full
+// gemmMaxMR×gemmMaxNR register tile. Smaller tiles use a leading subset.
+const gemmAccLen = gemmMaxMR * gemmMaxNR
+
 // epi is the fused epilogue applied to each output element after the full
 // k reduction: dst = f(sum + bias), where f is ReLU when relu is set.
-type epi struct {
-	bias []float64 // length n, broadcast across rows; nil = none
+type epi[T Float] struct {
+	bias []T // length n, broadcast across rows; nil = none
 	relu bool
 	mask []bool // optional m*n ReLU mask: mask[i*n+j] = (pre-clamp value > 0)
 }
 
-// gemmScratch is one goroutine's packing workspace. Pooled so that
-// concurrently-training clients (and concurrent GEMM lanes) never share
-// scratch, while steady-state training allocates nothing.
-type gemmScratch struct {
-	ap []float64 // packed A block, gemmMC×gemmKC
-	bp []float64 // packed B block, gemmKC×gemmNC
+// packSrc describes one GEMM operand: a real strided matrix (virt
+// unset — element (i,l) lives at d[i*rs+l*cs]) or a virtual im2col view
+// of a convolution input (virt set — elements are synthesized from geom
+// during packing; see convgemm.go). Held by value end-to-end so the
+// serial path allocates nothing.
+type packSrc[T Float] struct {
+	d      []T
+	rs, cs int
+	geom   convGeom
+	virt   bool
 }
 
-var gemmPool = sync.Pool{New: func() any {
-	return &gemmScratch{
+// packIntoA packs the mc×kc block at (i0, p0) of the operand viewed as A.
+func (p *packSrc[T]) packIntoA(ap []T, i0, p0, mc, kc, mr int) {
+	if p.virt {
+		packAConv(ap, p.d, &p.geom, i0, p0, mc, kc, mr)
+		return
+	}
+	packA(ap, p.d, p.rs, p.cs, i0, p0, mc, kc, mr)
+}
+
+// packIntoB packs the kc×nc block at (p0, j0) of the operand viewed as B.
+func (p *packSrc[T]) packIntoB(bp []T, p0, j0, kc, nc, nr int) {
+	if p.virt {
+		packBConv(bp, p.d, &p.geom, p0, j0, kc, nc, nr)
+		return
+	}
+	packB(bp, p.d, p.rs, p.cs, p0, j0, kc, nc, nr)
+}
+
+// gemmScratch is one goroutine's packing workspace. Pooled per element
+// type so that concurrently-training clients (and concurrent GEMM lanes)
+// never share scratch, while steady-state training allocates nothing.
+type gemmScratch[T Float] struct {
+	ap []T // packed A block, gemmMC×gemmKC
+	bp []T // packed B block, gemmKC×gemmNC
+}
+
+var gemmPool64 = sync.Pool{New: func() any {
+	return &gemmScratch[float64]{
 		ap: make([]float64, gemmMC*gemmKC),
 		bp: make([]float64, gemmKC*gemmNC),
 	}
 }}
 
+var gemmPool32 = sync.Pool{New: func() any {
+	return &gemmScratch[float32]{
+		ap: make([]float32, gemmMC*gemmKC),
+		bp: make([]float32, gemmKC*gemmNC),
+	}
+}}
+
+// gemmScratchPool returns the scratch pool matching element type T.
+func gemmScratchPool[T Float]() *sync.Pool {
+	if isF32[T]() {
+		return &gemmPool32
+	}
+	return &gemmPool64
+}
+
 // gemm computes dst = epilogue(op(a)·op(b)) where op is optional
 // transposition. dst must be m×n and is fully overwritten.
-func gemm(dst, a, b *Tensor, transA, transB bool, e epi) {
-	ad, bd, cd := a.data, b.data, dst.data
+func gemm[T Float](dst, a, b *TensorOf[T], transA, transB bool, e epi[T]) {
+	cd := dst.data
 	var m, k, n int
 	var ars, acs, brs, bcs int
 	if transA {
@@ -116,12 +178,24 @@ func gemm(dst, a, b *Tensor, transA, transB bool, e epi) {
 		applyEpi(cd, n, 0, m, 0, n, e)
 		return
 	}
-	gemmBlocked(cd, ad, bd, m, n, k, ars, acs, brs, bcs, e)
+	gemmBlocked(cd, a.data, b.data, m, n, k, ars, acs, brs, bcs, e)
 }
 
-// gemmBlocked runs the panel-blocked kernel over the full output, fanning
-// grid cells out across whatever lanes the shared semaphore grants.
-func gemmBlocked(cd, ad, bd []float64, m, n, k, ars, acs, brs, bcs int, e epi) {
+// gemmBlocked runs the panel-blocked kernel over the full output with
+// the production register tile for T.
+func gemmBlocked[T Float](cd, ad, bd []T, m, n, k, ars, acs, brs, bcs int, e epi[T]) {
+	mr, nr := microTile[T]()
+	gemmBlockedOps(cd,
+		packSrc[T]{d: ad, rs: ars, cs: acs},
+		packSrc[T]{d: bd, rs: brs, cs: bcs},
+		m, n, k, mr, nr, e)
+}
+
+// gemmBlockedOps runs the panel-blocked kernel over the full output,
+// fanning grid cells out across whatever lanes the shared semaphore
+// grants. The (mr, nr) register tile is a parameter so benchmarks can
+// bake off candidate tiles; production callers pass microTile[T]().
+func gemmBlockedOps[T Float](cd []T, a, b packSrc[T], m, n, k, mr, nr int, e epi[T]) {
 	rc := (m + gemmMC - 1) / gemmMC
 	cc := (n + gemmNC - 1) / gemmNC
 	cells := rc * cc
@@ -131,74 +205,106 @@ func gemmBlocked(cd, ad, bd []float64, m, n, k, ars, acs, brs, bcs int, e epi) {
 	// MaxLanes()==0 check only short-circuits dispatch — per-cell results
 	// are bit-identical on either path, so it cannot affect outputs.
 	if cells == 1 || m*n*k < gemmParallelCutoff || MaxLanes() == 0 {
-		s := gemmPool.Get().(*gemmScratch)
+		pool := gemmScratchPool[T]()
+		s := pool.Get().(*gemmScratch[T])
 		for cell := 0; cell < cells; cell++ {
-			gemmProcCell(cd, ad, bd, m, n, k, ars, acs, brs, bcs, e, cc, cell, s)
+			gemmProcCell(cd, a, b, m, n, k, mr, nr, e, cc, cell, s)
 		}
-		gemmPool.Put(s)
+		pool.Put(s)
 		return
 	}
 	parallelChunks(cells, func(c0, c1 int) {
-		s := gemmPool.Get().(*gemmScratch)
+		pool := gemmScratchPool[T]()
+		s := pool.Get().(*gemmScratch[T])
 		for cell := c0; cell < c1; cell++ {
-			gemmProcCell(cd, ad, bd, m, n, k, ars, acs, brs, bcs, e, cc, cell, s)
+			gemmProcCell(cd, a, b, m, n, k, mr, nr, e, cc, cell, s)
 		}
-		gemmPool.Put(s)
+		pool.Put(s)
 	})
 }
 
 // gemmProcCell computes one output grid cell and applies the epilogue to
 // its region. Top-level (not a closure) so the serial path stays
 // allocation-free.
-func gemmProcCell(cd, ad, bd []float64, m, n, k, ars, acs, brs, bcs int, e epi, cc, cell int, s *gemmScratch) {
+func gemmProcCell[T Float](cd []T, a, b packSrc[T], m, n, k, mr, nr int, e epi[T], cc, cell int, s *gemmScratch[T]) {
 	i0 := (cell / cc) * gemmMC
 	j0 := (cell % cc) * gemmNC
 	mc := min(gemmMC, m-i0)
 	nc := min(gemmNC, n-j0)
-	gemmCell(cd, ad, bd, n, k, i0, j0, mc, nc, ars, acs, brs, bcs, s)
+	gemmCell(cd, a, b, n, k, i0, j0, mc, nc, mr, nr, s)
 	applyEpi(cd, n, i0, i0+mc, j0, j0+nc, e)
 }
 
 // gemmCell computes the mc×nc output cell at (i0, j0): pack a k-panel of
 // each operand, run the micro-kernel over every register tile, merge into
 // C (store on the first panel, accumulate on the rest).
-func gemmCell(cd, ad, bd []float64, n, k, i0, j0, mc, nc int, ars, acs, brs, bcs int, s *gemmScratch) {
+func gemmCell[T Float](cd []T, a, b packSrc[T], n, k, i0, j0, mc, nc, mr, nr int, s *gemmScratch[T]) {
 	for p0 := 0; p0 < k; p0 += gemmKC {
 		kc := min(gemmKC, k-p0)
-		packA(s.ap, ad, ars, acs, i0, p0, mc, kc)
-		packB(s.bp, bd, brs, bcs, p0, j0, kc, nc)
+		a.packIntoA(s.ap, i0, p0, mc, kc, mr)
+		b.packIntoB(s.bp, p0, j0, kc, nc, nr)
 		first := p0 == 0
-		var acc [gemmMR * gemmNR]float64
-		for jr := 0; jr < nc; jr += gemmNR {
-			bp := s.bp[(jr/gemmNR)*gemmNR*kc:]
-			for ir := 0; ir < mc; ir += gemmMR {
-				ap := s.ap[(ir/gemmMR)*gemmMR*kc:]
-				micro4x2(kc, ap, bp, &acc)
-				mergeTile(cd, n, i0+ir, j0+jr, min(gemmMR, mc-ir), min(gemmNR, nc-jr), &acc, first)
+		var acc [gemmAccLen]T
+		for jr := 0; jr < nc; jr += nr {
+			bp := s.bp[(jr/nr)*nr*kc:]
+			for ir := 0; ir < mc; ir += mr {
+				ap := s.ap[(ir/mr)*mr*kc:]
+				microKernel(kc, ap, bp, &acc, mr, nr)
+				mergeTile(cd, n, i0+ir, j0+jr, min(mr, mc-ir), min(nr, nc-jr), nr, &acc, first)
 			}
 		}
 	}
 }
 
-// micro4x2 multiplies one packed A micro-panel (gemmMR×kc, column-major)
-// by one packed B micro-panel (kc×gemmNR, row-major), keeping the full
-// 4×2 product tile in scalar registers across the k loop. The tile shape
-// is chosen for the register budget: 8 accumulators + 4 A values + 2 B
-// values = 14 live floats, which fits amd64's 16 XMM registers — a 4×4
-// tile needs 24 and spills every iteration, which benchmarked slower than
-// the naive kernel it was meant to replace. The k loop is unrolled 8×
-// (with a single-step remainder loop) to amortize branch overhead over
-// the 16 independent multiply-add chains per step.
+// microKernel runs the register-tiled inner kernel for one packed
+// micro-panel pair. Production tiles are (4,2) at float64 (scalar) and
+// (f32MR, f32NR) = (8,4) at float32 (4-lane SSE on amd64, an
+// order-identical scalar loop elsewhere); the remaining shapes exist for
+// the tile bake-off benchmarks. Every kernel sums each output element in
+// strictly ascending k order, so the choice of tile never changes bits.
+func microKernel[T Float](kc int, ap, bp []T, acc *[gemmAccLen]T, mr, nr int) {
+	if isF32[T]() && mr == 8 && nr == 4 {
+		// Pointer reinterpretation, not conversion: guarded by isF32, T is
+		// float32 here. Pointers (rather than slices) keep the call free of
+		// interface-boxing allocations on the hot path.
+		microF32SIMD(kc, f32ptr(&ap[0]), f32ptr(&bp[0]), f32ptr(&acc[0]))
+		return
+	}
+	switch {
+	case mr == 8 && nr == 2:
+		micro8x2(kc, ap, bp, acc)
+	case mr == 4 && nr == 4:
+		micro4x4(kc, ap, bp, acc)
+	default:
+		micro4x2(kc, ap, bp, acc)
+	}
+}
+
+// f32ptr reinterprets a *T as *float32. Callers must guard with isF32;
+// the generic signature only exists so microKernel compiles for both
+// instantiations.
+func f32ptr[T Float](p *T) *float32 { return (*float32)(unsafe.Pointer(p)) }
+
+// micro4x2 multiplies one packed A micro-panel (4×kc, column-major) by
+// one packed B micro-panel (kc×2, row-major), keeping the full 4×2
+// product tile in scalar registers across the k loop. The tile shape is
+// chosen for the float64 register budget: 8 accumulators + 4 A values +
+// 2 B values = 14 live doubles, which fits amd64's 16 XMM registers — a
+// 4×4 tile needs 24 and spills every iteration, which benchmarked slower
+// than the naive kernel it was meant to replace (micro4x4 below exists
+// to keep that measurement honest per element type). The k loop is
+// unrolled 8× (with a single-step remainder loop) to amortize branch
+// overhead over the 16 independent multiply-add chains per step.
 //
 // k runs strictly ascending through both loops, which fixes the
 // floating-point reduction order regardless of kc or unroll boundaries.
-func micro4x2(kc int, ap, bp []float64, acc *[gemmMR * gemmNR]float64) {
-	var c00, c01 float64
-	var c10, c11 float64
-	var c20, c21 float64
-	var c30, c31 float64
-	ap = ap[: gemmMR*kc : gemmMR*kc]
-	bp = bp[: gemmNR*kc : gemmNR*kc]
+func micro4x2[T Float](kc int, ap, bp []T, acc *[gemmAccLen]T) {
+	var c00, c01 T
+	var c10, c11 T
+	var c20, c21 T
+	var c30, c31 T
+	ap = ap[: 4*kc : 4*kc]
+	bp = bp[: 2*kc : 2*kc]
 	for len(ap) >= 32 && len(bp) >= 16 {
 		a0, a1, a2, a3 := ap[0], ap[1], ap[2], ap[3]
 		b0, b1 := bp[0], bp[1]
@@ -303,12 +409,92 @@ func micro4x2(kc int, ap, bp []float64, acc *[gemmMR * gemmNR]float64) {
 	acc[6], acc[7] = c30, c31
 }
 
+// micro8x2 is the 8×2 scalar candidate tile from the f32 bake-off
+// (18 live values — two more than the amd64 XMM file, so the compiler
+// spills; kept for the benchmark record). Accumulator stride 2.
+func micro8x2[T Float](kc int, ap, bp []T, acc *[gemmAccLen]T) {
+	var c [16]T
+	ap = ap[: 8*kc : 8*kc]
+	bp = bp[: 2*kc : 2*kc]
+	for len(ap) >= 16 && len(bp) >= 4 {
+		b0, b1 := bp[0], bp[1]
+		for r := 0; r < 8; r++ {
+			a := ap[r]
+			c[2*r] += a * b0
+			c[2*r+1] += a * b1
+		}
+		b0, b1 = bp[2], bp[3]
+		for r := 0; r < 8; r++ {
+			a := ap[8+r]
+			c[2*r] += a * b0
+			c[2*r+1] += a * b1
+		}
+		ap = ap[16:]
+		bp = bp[4:]
+	}
+	for len(ap) >= 8 && len(bp) >= 2 {
+		b0, b1 := bp[0], bp[1]
+		for r := 0; r < 8; r++ {
+			a := ap[r]
+			c[2*r] += a * b0
+			c[2*r+1] += a * b1
+		}
+		ap = ap[8:]
+		bp = bp[2:]
+	}
+	copy(acc[:16], c[:])
+}
+
+// micro4x4 is the 4×4 scalar candidate tile from the f32 bake-off
+// (24 live values; spills at float64, borderline at float32 — kept for
+// the benchmark record). Accumulator stride 4.
+func micro4x4[T Float](kc int, ap, bp []T, acc *[gemmAccLen]T) {
+	var c [16]T
+	ap = ap[: 4*kc : 4*kc]
+	bp = bp[: 4*kc : 4*kc]
+	for len(ap) >= 8 && len(bp) >= 8 {
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		for r := 0; r < 4; r++ {
+			a := ap[r]
+			c[4*r] += a * b0
+			c[4*r+1] += a * b1
+			c[4*r+2] += a * b2
+			c[4*r+3] += a * b3
+		}
+		b0, b1, b2, b3 = bp[4], bp[5], bp[6], bp[7]
+		for r := 0; r < 4; r++ {
+			a := ap[4+r]
+			c[4*r] += a * b0
+			c[4*r+1] += a * b1
+			c[4*r+2] += a * b2
+			c[4*r+3] += a * b3
+		}
+		ap = ap[8:]
+		bp = bp[8:]
+	}
+	for len(ap) >= 4 && len(bp) >= 4 {
+		b0, b1, b2, b3 := bp[0], bp[1], bp[2], bp[3]
+		for r := 0; r < 4; r++ {
+			a := ap[r]
+			c[4*r] += a * b0
+			c[4*r+1] += a * b1
+			c[4*r+2] += a * b2
+			c[4*r+3] += a * b3
+		}
+		ap = ap[4:]
+		bp = bp[4:]
+	}
+	copy(acc[:16], c[:])
+}
+
 // mergeTile writes the valid mr×nr corner of a micro-tile into C at
 // (i, j): plain store for the first k-panel (beta=0), accumulate after.
-func mergeTile(cd []float64, n, i, j, mr, nr int, acc *[gemmMR * gemmNR]float64, first bool) {
+// accStride is the full tile NR (the accumulator row stride), which may
+// exceed the valid nr at the right edge of the output.
+func mergeTile[T Float](cd []T, n, i, j, mr, nr, accStride int, acc *[gemmAccLen]T, first bool) {
 	for r := 0; r < mr; r++ {
 		row := cd[(i+r)*n+j : (i+r)*n+j+nr]
-		av := acc[r*gemmNR : r*gemmNR+nr]
+		av := acc[r*accStride : r*accStride+nr]
 		if first {
 			copy(row, av)
 		} else {
@@ -321,7 +507,7 @@ func mergeTile(cd []float64, n, i, j, mr, nr int, acc *[gemmMR * gemmNR]float64,
 
 // applyEpi applies the fused epilogue over rows [i0,i1) × cols [j0,j1) of
 // the n-column output. A no-op for the plain kernels.
-func applyEpi(cd []float64, n, i0, i1, j0, j1 int, e epi) {
+func applyEpi[T Float](cd []T, n, i0, i1, j0, j1 int, e epi[T]) {
 	if e.bias == nil && !e.relu {
 		return
 	}

@@ -1,0 +1,26 @@
+//go:build amd64
+
+package tensor
+
+// float32 production register tile: 8×4. At four-byte elements a 128-bit
+// XMM register holds one 4-wide row of the C tile, so the full 8×4 block
+// lives in 8 registers (X0–X7) with X8 holding the broadcast B vector and
+// one temporary per row — comfortably inside the 16-register SSE file,
+// where the scalar candidates (8×2 with 18 live values, 4×4 with 24)
+// spill. SSE2 is the amd64 baseline, so the kernel needs no CPUID
+// gating. See BENCH_gemm.json "f32_tile_bakeoff" for the measured
+// comparison against the scalar 4×2 / 8×2 / 4×4 tiles.
+const (
+	f32MR = 8
+	f32NR = 4
+)
+
+// microF32SIMD multiplies one packed A micro-panel (8×kc, column-major)
+// by one packed B micro-panel (kc×4, row-major) into the 8×4 accumulator
+// tile at acc (row stride 4, fully overwritten). Each output element is
+// summed in strictly ascending k order with one rounding per multiply-add
+// (MULPS + ADDPS, no FMA), so results are bit-identical to the portable
+// scalar loop in gemm_f32_noasm.go.
+//
+//go:noescape
+func microF32SIMD(kc int, ap, bp, acc *float32)

@@ -1,0 +1,37 @@
+//go:build !amd64
+
+package tensor
+
+import "unsafe"
+
+// float32 production register tile on non-amd64 targets: the same 8×4
+// block as the SSE kernel, computed by a scalar loop with the identical
+// ascending-k schedule so results stay bit-identical across platforms.
+const (
+	f32MR = 8
+	f32NR = 4
+)
+
+// microF32SIMD is the portable stand-in for the amd64 SSE kernel: one
+// packed A micro-panel (8×kc, column-major) times one packed B
+// micro-panel (kc×4, row-major) into the 8×4 accumulator tile at acc
+// (row stride 4, fully overwritten). One rounding per multiply-add,
+// strictly ascending k per output element — the exact operation sequence
+// of the assembly version, per lane.
+func microF32SIMD(kc int, ap, bp, acc *float32) {
+	aps := unsafe.Slice(ap, kc*8)
+	bps := unsafe.Slice(bp, kc*4)
+	out := unsafe.Slice(acc, 32)
+	var c [32]float32
+	for l := 0; l < kc; l++ {
+		b0, b1, b2, b3 := bps[l*4], bps[l*4+1], bps[l*4+2], bps[l*4+3]
+		for r := 0; r < 8; r++ {
+			a := aps[l*8+r]
+			c[4*r] += a * b0
+			c[4*r+1] += a * b1
+			c[4*r+2] += a * b2
+			c[4*r+3] += a * b3
+		}
+	}
+	copy(out, c[:])
+}

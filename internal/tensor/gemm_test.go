@@ -7,9 +7,13 @@ import (
 )
 
 func randTensor(rng *rand.Rand, shape ...int) *Tensor {
-	t := New(shape...)
+	return randTensorOf[float64](rng, shape...)
+}
+
+func randTensorOf[T Float](rng *rand.Rand, shape ...int) *TensorOf[T] {
+	t := NewOf[T](shape...)
 	for i := range t.Data() {
-		t.Data()[i] = rng.NormFloat64()
+		t.Data()[i] = T(rng.NormFloat64())
 	}
 	return t
 }
@@ -17,7 +21,14 @@ func randTensor(rng *rand.Rand, shape ...int) *Tensor {
 // blockedInto forces the blocked kernel (bypassing the small-shape naive
 // fast path) with the same stride setup as gemm, so property tests can
 // exercise packing/micro-kernel logic on tiny shapes too.
-func blockedInto(dst, a, b *Tensor, transA, transB bool, e epi) {
+func blockedInto[T Float](dst, a, b *TensorOf[T], transA, transB bool, e epi[T]) {
+	mr, nr := microTile[T]()
+	blockedTileInto(dst, a, b, transA, transB, e, mr, nr)
+}
+
+// blockedTileInto is blockedInto with an explicit register tile, used by
+// the tile bake-off benchmarks and the cross-tile equivalence test.
+func blockedTileInto[T Float](dst, a, b *TensorOf[T], transA, transB bool, e epi[T], mr, nr int) {
 	var m, k, n int
 	var ars, acs, brs, bcs int
 	if transA {
@@ -34,52 +45,57 @@ func blockedInto(dst, a, b *Tensor, transA, transB bool, e epi) {
 		n = b.Dim(1)
 		brs, bcs = n, 1
 	}
-	gemmBlocked(dst.data, a.data, b.data, m, n, k, ars, acs, brs, bcs, e)
+	gemmBlockedOps(dst.data,
+		packSrc[T]{d: a.data, rs: ars, cs: acs},
+		packSrc[T]{d: b.data, rs: brs, cs: bcs},
+		m, n, k, mr, nr, e)
 }
 
 // maxAbsDiff returns the largest elementwise |a−b|.
-func maxAbsDiff(a, b *Tensor) float64 {
+func maxAbsDiff[T Float](a, b *TensorOf[T]) float64 {
 	worst := 0.0
 	for i, v := range a.Data() {
-		if d := math.Abs(v - b.Data()[i]); d > worst {
+		if d := math.Abs(float64(v) - float64(b.Data()[i])); d > worst {
 			worst = d
 		}
 	}
 	return worst
 }
 
-// TestBlockedMatchesNaiveProperty sweeps all three layouts over every
-// (m, k, n) combination from a size set covering 1×1, sub-tile, exactly
-// one tile, and one-past-a-tile ragged edges, comparing the blocked
-// kernel (forced, even below the small cutoff) against the retained naive
-// references.
-func TestBlockedMatchesNaiveProperty(t *testing.T) {
+// testBlockedMatchesNaive sweeps all three layouts over every (m, k, n)
+// combination from a size set covering 1×1, sub-tile, exactly one tile,
+// and one-past-a-tile ragged edges, comparing the blocked kernel
+// (forced, even below the small cutoff) against the retained naive
+// references. The tolerance comes from the element type: ≈1e-12 at
+// float64, ≈1e-4 at float32.
+func testBlockedMatchesNaive[T Float](t *testing.T) {
 	sizes := []int{1, 3, 5, 17, 64, 65}
+	eps := Eps[T]()
 	rng := rand.New(rand.NewSource(42))
 	for _, m := range sizes {
 		for _, k := range sizes {
 			for _, n := range sizes {
 				// Plain A·B.
-				a := randTensor(rng, m, k)
-				b := randTensor(rng, k, n)
-				want, got := New(m, n), New(m, n)
+				a := randTensorOf[T](rng, m, k)
+				b := randTensorOf[T](rng, k, n)
+				want, got := NewOf[T](m, n), NewOf[T](m, n)
 				naiveMatMulInto(want, a, b)
-				blockedInto(got, a, b, false, false, epi{})
-				if d := maxAbsDiff(want, got); d > 1e-12 {
+				blockedInto(got, a, b, false, false, epi[T]{})
+				if d := maxAbsDiff(want, got); d > eps {
 					t.Fatalf("A·B m=%d k=%d n=%d: max diff %g", m, k, n, d)
 				}
 				// Aᵀ·B with A stored (k, m).
-				at := randTensor(rng, k, m)
+				at := randTensorOf[T](rng, k, m)
 				naiveMatMulTransAInto(want, at, b)
-				blockedInto(got, at, b, true, false, epi{})
-				if d := maxAbsDiff(want, got); d > 1e-12 {
+				blockedInto(got, at, b, true, false, epi[T]{})
+				if d := maxAbsDiff(want, got); d > eps {
 					t.Fatalf("Aᵀ·B m=%d k=%d n=%d: max diff %g", m, k, n, d)
 				}
 				// A·Bᵀ with B stored (n, k).
-				bt := randTensor(rng, n, k)
+				bt := randTensorOf[T](rng, n, k)
 				naiveMatMulTransBInto(want, a, bt)
-				blockedInto(got, a, bt, false, true, epi{})
-				if d := maxAbsDiff(want, got); d > 1e-12 {
+				blockedInto(got, a, bt, false, true, epi[T]{})
+				if d := maxAbsDiff(want, got); d > eps {
 					t.Fatalf("A·Bᵀ m=%d k=%d n=%d: max diff %g", m, k, n, d)
 				}
 			}
@@ -87,33 +103,86 @@ func TestBlockedMatchesNaiveProperty(t *testing.T) {
 	}
 }
 
+func TestBlockedMatchesNaiveProperty(t *testing.T) {
+	t.Run("f64", testBlockedMatchesNaive[float64])
+	t.Run("f32", testBlockedMatchesNaive[float32])
+}
+
+// TestBlockedTileEquivalence pins the tile-shape independence claim the
+// bake-off relies on: within one KC panel every candidate register tile
+// sums each output element in the same ascending-k order, so all tiles
+// (including the f32 SIMD 8×4) produce bit-identical results.
+func TestBlockedTileEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	m, k, n := 65, 130, 37 // ragged against every tile, single k-panel and multi-cell-free
+	tiles := [][2]int{{4, 2}, {8, 2}, {4, 4}, {8, 4}}
+	t.Run("f32", func(t *testing.T) {
+		a := randTensorOf[float32](rng, m, k)
+		b := randTensorOf[float32](rng, k, n)
+		ref := NewOf[float32](m, n)
+		blockedTileInto(ref, a, b, false, false, epi[float32]{}, 4, 2)
+		for _, tile := range tiles[1:] {
+			got := NewOf[float32](m, n)
+			blockedTileInto(got, a, b, false, false, epi[float32]{}, tile[0], tile[1])
+			for i, v := range got.Data() {
+				if math.Float32bits(v) != math.Float32bits(ref.Data()[i]) {
+					t.Fatalf("tile %dx%d differs from 4x2 at %d: %x vs %x",
+						tile[0], tile[1], i, math.Float32bits(v), math.Float32bits(ref.Data()[i]))
+				}
+			}
+		}
+	})
+	t.Run("f64", func(t *testing.T) {
+		a := randTensorOf[float64](rng, m, k)
+		b := randTensorOf[float64](rng, k, n)
+		ref := NewOf[float64](m, n)
+		blockedTileInto(ref, a, b, false, false, epi[float64]{}, 4, 2)
+		for _, tile := range [][2]int{{8, 2}, {4, 4}} {
+			got := NewOf[float64](m, n)
+			blockedTileInto(got, a, b, false, false, epi[float64]{}, tile[0], tile[1])
+			for i, v := range got.Data() {
+				if math.Float64bits(v) != math.Float64bits(ref.Data()[i]) {
+					t.Fatalf("tile %dx%d differs from 4x2 at %d", tile[0], tile[1], i)
+				}
+			}
+		}
+	})
+}
+
 // TestBlockedMatchesNaiveMultiPanel covers shapes that span several MC/NC
 // grid cells and several KC k-panels, where the blocked kernel's partial-
 // sum tree differs from the naive running sum — agreement must hold to
-// accumulated-roundoff tolerance.
-func TestBlockedMatchesNaiveMultiPanel(t *testing.T) {
+// accumulated-roundoff tolerance (100× the single-panel tolerance for
+// the element type).
+func testBlockedMultiPanel[T Float](t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
+	eps := 100 * Eps[T]()
 	m, k, n := 150, 600, 500 // rc=2, cc=3, three k-panels
-	a := randTensor(rng, m, k)
-	b := randTensor(rng, k, n)
-	want, got := New(m, n), New(m, n)
+	a := randTensorOf[T](rng, m, k)
+	b := randTensorOf[T](rng, k, n)
+	want, got := NewOf[T](m, n), NewOf[T](m, n)
 	naiveMatMulInto(want, a, b)
 	MatMulInto(got, a, b)
-	if d := maxAbsDiff(want, got); d > 1e-10 {
+	if d := maxAbsDiff(want, got); d > eps {
 		t.Fatalf("multi-panel A·B: max diff %g", d)
 	}
-	at := randTensor(rng, k, m)
+	at := randTensorOf[T](rng, k, m)
 	naiveMatMulTransAInto(want, at, b)
 	MatMulTransAInto(got, at, b)
-	if d := maxAbsDiff(want, got); d > 1e-10 {
+	if d := maxAbsDiff(want, got); d > eps {
 		t.Fatalf("multi-panel Aᵀ·B: max diff %g", d)
 	}
-	bt := randTensor(rng, n, k)
+	bt := randTensorOf[T](rng, n, k)
 	naiveMatMulTransBInto(want, a, bt)
 	MatMulTransBInto(got, a, bt)
-	if d := maxAbsDiff(want, got); d > 1e-10 {
+	if d := maxAbsDiff(want, got); d > eps {
 		t.Fatalf("multi-panel A·Bᵀ: max diff %g", d)
 	}
+}
+
+func TestBlockedMatchesNaiveMultiPanel(t *testing.T) {
+	t.Run("f64", testBlockedMultiPanel[float64])
+	t.Run("f32", testBlockedMultiPanel[float32])
 }
 
 // TestGEMMEpilogueBias checks the fused bias epilogue on both dispatch
@@ -224,6 +293,45 @@ func TestGEMMBitIdenticalAcrossLanes(t *testing.T) {
 	}
 }
 
+// TestGEMMBitIdenticalAcrossLanesF32 is the float32 instantiation of the
+// lane-determinism claim, exercising the SIMD micro-kernel through the
+// parallel dispatch path.
+func TestGEMMBitIdenticalAcrossLanesF32(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m, k, n := 260, 300, 250
+	a := randTensorOf[float32](rng, m, k)
+	b := randTensorOf[float32](rng, k, n)
+	at := randTensorOf[float32](rng, k, m)
+	bt := randTensorOf[float32](rng, n, k)
+	bias := randTensorOf[float32](rng, n)
+	mask := make([]bool, m*n)
+
+	type op struct {
+		name string
+		run  func(dst *TensorOf[float32])
+	}
+	ops := []op{
+		{"MatMulInto", func(dst *TensorOf[float32]) { MatMulInto(dst, a, b) }},
+		{"MatMulTransAInto", func(dst *TensorOf[float32]) { MatMulTransAInto(dst, at, b) }},
+		{"MatMulTransBInto", func(dst *TensorOf[float32]) { MatMulTransBInto(dst, a, bt) }},
+		{"MatMulTransBBiasReLUInto", func(dst *TensorOf[float32]) { MatMulTransBBiasReLUInto(dst, a, bt, bias, mask) }},
+	}
+	for _, o := range ops {
+		ref := NewOf[float32](m, n)
+		withLanes(t, 0, func() { o.run(ref) })
+		for _, lanes := range []int{1, 2, 3, 8} {
+			got := NewOf[float32](m, n)
+			withLanes(t, lanes, func() { o.run(got) })
+			for i, v := range got.Data() {
+				if math.Float32bits(v) != math.Float32bits(ref.Data()[i]) {
+					t.Fatalf("%s: lanes=%d differs from serial at %d: %x vs %x",
+						o.name, lanes, i, math.Float32bits(v), math.Float32bits(ref.Data()[i]))
+				}
+			}
+		}
+	}
+}
+
 // TestGEMMKZeroAndEmpty pins the degenerate-shape contract: k=0 zeroes the
 // output (then applies the epilogue), m=0 or n=0 is a no-op.
 func TestGEMMKZeroAndEmpty(t *testing.T) {
@@ -263,7 +371,7 @@ func TestEnsureShape(t *testing.T) {
 	if b.Dim(0) != 4 || b.Dim(1) != 3 || b.Data()[0] != 0 {
 		t.Fatal("EnsureShape reallocation must be zeroed with the new shape")
 	}
-	if got := EnsureShape(nil, 2, 2); got == nil || got.Len() != 4 {
+	if got := EnsureShape[float64](nil, 2, 2); got == nil || got.Len() != 4 {
 		t.Fatal("EnsureShape must allocate for nil input")
 	}
 }
@@ -273,15 +381,16 @@ func TestEnsureShape(t *testing.T) {
 // and LeNet's conv2 (m=N·8·8, k=500, n=40). Naive vs blocked on the same
 // shape measures the single-thread kernel speedup recorded in
 // BENCH_gemm.json; lanes are pinned to 0 so the comparison is serial.
-func benchGEMMShape(b *testing.B, m, k, n int, naive bool) {
+func benchGEMMShapeOf[T Float](b *testing.B, m, k, n int, naive bool) {
 	rng := rand.New(rand.NewSource(1))
-	a := randTensor(rng, m, k)
-	bt := randTensor(rng, n, k)
-	dst := New(m, n)
+	a := randTensorOf[T](rng, m, k)
+	bt := randTensorOf[T](rng, n, k)
+	dst := NewOf[T](m, n)
 	old := MaxLanes()
 	SetMaxLanes(0)
 	defer SetMaxLanes(old)
-	b.SetBytes(int64(8 * (m*k + n*k + m*n)))
+	var z T
+	b.SetBytes(int64(elemSize(z) * (m*k + n*k + m*n)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if naive {
@@ -292,6 +401,17 @@ func benchGEMMShape(b *testing.B, m, k, n int, naive bool) {
 	}
 }
 
+func elemSize[T Float](T) int {
+	if isF32[T]() {
+		return 4
+	}
+	return 8
+}
+
+func benchGEMMShape(b *testing.B, m, k, n int, naive bool) {
+	benchGEMMShapeOf[float64](b, m, k, n, naive)
+}
+
 func BenchmarkGEMMNaiveVGG6Conv(b *testing.B)   { benchGEMMShape(b, 980, 720, 96, true) }
 func BenchmarkGEMMBlockedVGG6Conv(b *testing.B) { benchGEMMShape(b, 980, 720, 96, false) }
 func BenchmarkGEMMNaiveLeNetConv(b *testing.B)  { benchGEMMShape(b, 1280, 500, 40, true) }
@@ -300,3 +420,40 @@ func BenchmarkGEMMBlockedLeNetConv(b *testing.B) {
 }
 func BenchmarkGEMMNaiveVGG6Dense(b *testing.B)   { benchGEMMShape(b, 20, 4704, 1120, true) }
 func BenchmarkGEMMBlockedVGG6Dense(b *testing.B) { benchGEMMShape(b, 20, 4704, 1120, false) }
+
+// float32 counterparts of the blocked benchmarks (the ≥1.5×-over-f64
+// numbers recorded in BENCH_gemm.json).
+func BenchmarkGEMMBlockedF32VGG6Conv(b *testing.B) {
+	benchGEMMShapeOf[float32](b, 980, 720, 96, false)
+}
+func BenchmarkGEMMBlockedF32LeNetConv(b *testing.B) {
+	benchGEMMShapeOf[float32](b, 1280, 500, 40, false)
+}
+func BenchmarkGEMMBlockedF32VGG6Dense(b *testing.B) {
+	benchGEMMShapeOf[float32](b, 20, 4704, 1120, false)
+}
+
+// f32 register-tile bake-off: the candidate tiles the tentpole asked to
+// re-derive, on the LeNet conv2 shape, serial. 8×4 routes to the SSE
+// kernel on amd64; the others are the scalar candidates. Results are
+// recorded under "f32_tile_bakeoff" in BENCH_gemm.json.
+func benchF32Tile(b *testing.B, mr, nr int) {
+	m, k, n := 1280, 500, 40
+	rng := rand.New(rand.NewSource(1))
+	a := randTensorOf[float32](rng, m, k)
+	bt := randTensorOf[float32](rng, n, k)
+	dst := NewOf[float32](m, n)
+	old := MaxLanes()
+	SetMaxLanes(0)
+	defer SetMaxLanes(old)
+	b.SetBytes(int64(4 * (m*k + n*k + m*n)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		blockedTileInto(dst, a, bt, false, true, epi[float32]{}, mr, nr)
+	}
+}
+
+func BenchmarkGEMMF32Tile4x2(b *testing.B) { benchF32Tile(b, 4, 2) }
+func BenchmarkGEMMF32Tile8x2(b *testing.B) { benchF32Tile(b, 8, 2) }
+func BenchmarkGEMMF32Tile4x4(b *testing.B) { benchF32Tile(b, 4, 4) }
+func BenchmarkGEMMF32Tile8x4(b *testing.B) { benchF32Tile(b, 8, 4) }

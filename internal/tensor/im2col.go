@@ -1,30 +1,33 @@
 package tensor
 
-// Im2Col lowers a batch of images (N, C, H, W) into a matrix of patch
+// Materialized im2col lowering, retained as the unexported reference
+// oracle for the implicit-GEMM convolution kernels (convgemm.go). The
+// production path never builds these matrices any more — the blocked
+// GEMM packs the same patch rows straight from the input tensor — but
+// the property tests verify the implicit kernels element-for-element
+// (and bit-for-bit at float64) against this lowering.
+
+// im2col lowers a batch of images (N, C, H, W) into a matrix of patch
 // columns so that a convolution with kernel (KH, KW), stride and padding
 // becomes a single matrix multiply. The result has shape
 // (N*OH*OW, C*KH*KW) where OH, OW are the output spatial dimensions.
-func Im2Col(x *Tensor, kh, kw, stride, pad int) *Tensor {
+func im2col[T Float](x *TensorOf[T], kh, kw, stride, pad int) *TensorOf[T] {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := (h+2*pad-kh)/stride + 1
 	ow := (w+2*pad-kw)/stride + 1
-	cols := New(n*oh*ow, c*kh*kw)
-	Im2ColInto(cols, x, kh, kw, stride, pad)
+	cols := NewOf[T](n*oh*ow, c*kh*kw)
+	im2colInto(cols, x, kh, kw, stride, pad)
 	return cols
 }
 
-// Im2ColInto is Im2Col writing into a preallocated (N*OH*OW, C*KH*KW)
-// matrix, zeroing it first (padded regions must read as zero). Reusing
-// one cols tensor across batches removes the dominant allocation in the
-// convolution hot path.
-//
-// fedlint:hotpath
-func Im2ColInto(cols, x *Tensor, kh, kw, stride, pad int) {
+// im2colInto is im2col writing into a preallocated (N*OH*OW, C*KH*KW)
+// matrix, zeroing it first (padded regions must read as zero).
+func im2colInto[T Float](cols, x *TensorOf[T], kh, kw, stride, pad int) {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := (h+2*pad-kh)/stride + 1
 	ow := (w+2*pad-kw)/stride + 1
 	if cols.Dim(0) != n*oh*ow || cols.Dim(1) != c*kh*kw {
-		panic("tensor: Im2ColInto shape mismatch")
+		panic("tensor: im2colInto shape mismatch")
 	}
 	cols.Zero()
 	xd, cd := x.data, cols.data
@@ -59,25 +62,26 @@ func Im2ColInto(cols, x *Tensor, kh, kw, stride, pad int) {
 	}
 }
 
-// Col2Im is the adjoint of Im2Col: it scatters patch-column gradients back
+// col2im is the adjoint of im2col: it scatters patch-column gradients back
 // into an image gradient of shape (N, C, H, W), accumulating overlaps.
-func Col2Im(cols *Tensor, n, c, h, w, kh, kw, stride, pad int) *Tensor {
-	x := New(n, c, h, w)
-	Col2ImInto(x, cols, kh, kw, stride, pad)
+func col2im[T Float](cols *TensorOf[T], n, c, h, w, kh, kw, stride, pad int) *TensorOf[T] {
+	x := NewOf[T](n, c, h, w)
+	col2imInto(x, cols, kh, kw, stride, pad)
 	return x
 }
 
-// Col2ImInto is Col2Im scattering into a preallocated (N, C, H, W)
-// tensor, zeroing it first.
-//
-// fedlint:hotpath
-func Col2ImInto(x, cols *Tensor, kh, kw, stride, pad int) {
+// col2imInto is col2im scattering into a preallocated (N, C, H, W)
+// tensor, zeroing it first. The scatter order — ascending patch row,
+// then ascending (channel, ky, kx) within the row — is the accumulation
+// order the implicit-GEMM input-gradient kernel reproduces chunk by
+// chunk (see ConvGradInputInto).
+func col2imInto[T Float](x, cols *TensorOf[T], kh, kw, stride, pad int) {
 	n, c, h, w := x.Dim(0), x.Dim(1), x.Dim(2), x.Dim(3)
 	oh := (h+2*pad-kh)/stride + 1
 	ow := (w+2*pad-kw)/stride + 1
 	rowLen := c * kh * kw
 	if cols.Dim(0) != n*oh*ow || cols.Dim(1) != rowLen {
-		panic("tensor: Col2ImInto shape mismatch")
+		panic("tensor: col2imInto shape mismatch")
 	}
 	x.Zero()
 	xd, cd := x.data, cols.data

@@ -1,21 +1,21 @@
 package tensor
 
-// Matrix-multiply entry points. All three layouts (A·B, Aᵀ·B, A·Bᵀ) and
-// the fused-epilogue variants route through the blocked, packed GEMM core
-// in gemm.go; the original PR-1 loop kernels are retained below as
-// unexported, single-threaded reference implementations — they serve as
-// the small-shape fast path and as the ground truth for the blocked
-// kernel's property tests.
+// Matrix-multiply entry points, generic over the element type. All three
+// layouts (A·B, Aᵀ·B, A·Bᵀ) and the fused-epilogue variants route through
+// the blocked, packed GEMM core in gemm.go; the original PR-1 loop
+// kernels are retained below as unexported, single-threaded reference
+// implementations — they serve as the small-shape fast path and as the
+// ground truth for the blocked kernel's property tests.
 
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n) and returns
 // a new m×n tensor. It panics on shape mismatch.
-func MatMul(a, b *Tensor) *Tensor {
+func MatMul[T Float](a, b *TensorOf[T]) *TensorOf[T] {
 	m, k := a.Dim(0), a.Dim(1)
 	if b.Dim(0) != k {
 		panic("tensor: MatMul inner dimension mismatch")
 	}
 	n := b.Dim(1)
-	c := New(m, n)
+	c := NewOf[T](m, n)
 	MatMulInto(c, a, b)
 	return c
 }
@@ -23,18 +23,18 @@ func MatMul(a, b *Tensor) *Tensor {
 // MatMulInto computes dst = A·B, overwriting dst. dst must be m×n.
 //
 // fedlint:hotpath
-func MatMulInto(dst, a, b *Tensor) {
-	gemm(dst, a, b, false, false, epi{})
+func MatMulInto[T Float](dst, a, b *TensorOf[T]) {
+	gemm(dst, a, b, false, false, epi[T]{})
 }
 
 // MatMulTransA computes C = Aᵀ·B where A is k×m and B is k×n, yielding m×n.
-func MatMulTransA(a, b *Tensor) *Tensor {
+func MatMulTransA[T Float](a, b *TensorOf[T]) *TensorOf[T] {
 	k, m := a.Dim(0), a.Dim(1)
 	if b.Dim(0) != k {
 		panic("tensor: MatMulTransA inner dimension mismatch")
 	}
 	n := b.Dim(1)
-	c := New(m, n)
+	c := NewOf[T](m, n)
 	MatMulTransAInto(c, a, b)
 	return c
 }
@@ -42,15 +42,15 @@ func MatMulTransA(a, b *Tensor) *Tensor {
 // MatMulTransAInto computes dst = Aᵀ·B, overwriting dst. dst must be m×n.
 //
 // fedlint:hotpath
-func MatMulTransAInto(dst, a, b *Tensor) {
-	gemm(dst, a, b, true, false, epi{})
+func MatMulTransAInto[T Float](dst, a, b *TensorOf[T]) {
+	gemm(dst, a, b, true, false, epi[T]{})
 }
 
 // MatMulTransB computes C = A·Bᵀ where A is m×k and B is n×k, yielding m×n.
-func MatMulTransB(a, b *Tensor) *Tensor {
+func MatMulTransB[T Float](a, b *TensorOf[T]) *TensorOf[T] {
 	m := a.Dim(0)
 	n := b.Dim(0)
-	c := New(m, n)
+	c := NewOf[T](m, n)
 	MatMulTransBInto(c, a, b)
 	return c
 }
@@ -58,18 +58,18 @@ func MatMulTransB(a, b *Tensor) *Tensor {
 // MatMulTransBInto computes dst = A·Bᵀ, overwriting dst. dst must be m×n.
 //
 // fedlint:hotpath
-func MatMulTransBInto(dst, a, b *Tensor) {
-	gemm(dst, a, b, false, true, epi{})
+func MatMulTransBInto[T Float](dst, a, b *TensorOf[T]) {
+	gemm(dst, a, b, false, true, epi[T]{})
 }
 
 // MatMulTransBBiasInto computes dst = A·Bᵀ + bias with the bias (length n)
 // broadcast across rows, fused into the kernel epilogue — the forward pass
-// of a dense or im2col-lowered convolution layer in one call, with no
-// separate zeroing or bias loop over dst.
+// of a dense layer in one call, with no separate zeroing or bias loop
+// over dst.
 //
 // fedlint:hotpath
-func MatMulTransBBiasInto(dst, a, b, bias *Tensor) {
-	gemm(dst, a, b, false, true, epi{bias: bias.data})
+func MatMulTransBBiasInto[T Float](dst, a, b, bias *TensorOf[T]) {
+	gemm(dst, a, b, false, true, epi[T]{bias: bias.data})
 }
 
 // MatMulTransBBiasReLUInto computes dst = max(0, A·Bᵀ + bias), recording
@@ -77,13 +77,13 @@ func MatMulTransBBiasInto(dst, a, b, bias *Tensor) {
 // dense+bias+ReLU forward. mask must have at least m·n entries.
 //
 // fedlint:hotpath
-func MatMulTransBBiasReLUInto(dst, a, b, bias *Tensor, mask []bool) {
-	gemm(dst, a, b, false, true, epi{bias: bias.data, relu: true, mask: mask})
+func MatMulTransBBiasReLUInto[T Float](dst, a, b, bias *TensorOf[T], mask []bool) {
+	gemm(dst, a, b, false, true, epi[T]{bias: bias.data, relu: true, mask: mask})
 }
 
 // naiveMatMulInto is the PR-1 i-k-j kernel (single-threaded), kept as the
 // reference implementation and the small-shape fast path.
-func naiveMatMulInto(dst, a, b *Tensor) {
+func naiveMatMulInto[T Float](dst, a, b *TensorOf[T]) {
 	m, k := a.Dim(0), a.Dim(1)
 	n := b.Dim(1)
 	if b.Dim(0) != k || dst.Dim(0) != m || dst.Dim(1) != n {
@@ -110,7 +110,7 @@ func naiveMatMulInto(dst, a, b *Tensor) {
 
 // naiveMatMulTransAInto is the PR-1 Aᵀ·B kernel (single-threaded), kept as
 // the reference implementation and the small-shape fast path.
-func naiveMatMulTransAInto(dst, a, b *Tensor) {
+func naiveMatMulTransAInto[T Float](dst, a, b *TensorOf[T]) {
 	k, m := a.Dim(0), a.Dim(1)
 	n := b.Dim(1)
 	if b.Dim(0) != k || dst.Dim(0) != m || dst.Dim(1) != n {
@@ -137,7 +137,7 @@ func naiveMatMulTransAInto(dst, a, b *Tensor) {
 
 // naiveMatMulTransBInto is the PR-1 A·Bᵀ kernel (single-threaded), kept as
 // the reference implementation and the small-shape fast path.
-func naiveMatMulTransBInto(dst, a, b *Tensor) {
+func naiveMatMulTransBInto[T Float](dst, a, b *TensorOf[T]) {
 	m, k := a.Dim(0), a.Dim(1)
 	n := b.Dim(0)
 	if b.Dim(1) != k || dst.Dim(0) != m || dst.Dim(1) != n {
@@ -149,7 +149,7 @@ func naiveMatMulTransBInto(dst, a, b *Tensor) {
 		ci := cd[i*n : (i+1)*n]
 		for j := 0; j < n; j++ {
 			bj := bd[j*k : (j+1)*k]
-			s := 0.0
+			var s T
 			for l, av := range ai {
 				s += av * bj[l]
 			}
@@ -159,9 +159,9 @@ func naiveMatMulTransBInto(dst, a, b *Tensor) {
 }
 
 // Transpose returns the transpose of a 2-D tensor.
-func Transpose(a *Tensor) *Tensor {
+func Transpose[T Float](a *TensorOf[T]) *TensorOf[T] {
 	m, n := a.Dim(0), a.Dim(1)
-	t := New(n, m)
+	t := NewOf[T](n, m)
 	for i := 0; i < m; i++ {
 		for j := 0; j < n; j++ {
 			t.data[j*m+i] = a.data[i*n+j]

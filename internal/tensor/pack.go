@@ -4,72 +4,96 @@ package tensor
 // repacked into contiguous, micro-kernel-shaped panels before the inner
 // loops run: packing absorbs the operand transposition (via row/column
 // strides) and zero-pads ragged tails, so the register-tiled micro-kernel
-// is branch-free and always streams unit-stride memory.
+// is branch-free and always streams unit-stride memory. Convolution
+// operands are packed by the virtual (implicit-GEMM) variants in
+// convgemm.go, which synthesize im2col panels on the fly instead of
+// reading a materialized buffer; the panel layout is identical.
 //
 // Blocking parameters. These are fixed compile-time constants on purpose:
 // the panel grid they induce over the output matrix is identical for
 // every lane count, which is one half of the bit-determinism argument
 // (the other half is that each grid cell is computed start-to-finish by
-// exactly one goroutine; see gemm.go).
+// exactly one goroutine; see gemm.go). gemmKC additionally fixes the
+// k-summation association (one partial sum per KC panel), so it must
+// never differ between two code paths that are expected to produce
+// bit-identical results.
 const (
-	// gemmMR × gemmNR is the register tile: the micro-kernel keeps a full
-	// MR×NR block of C in scalar registers across the k loop. 4×2 is the
-	// largest tile whose working set (MR·NR accumulators + MR A values +
-	// NR B values = 14 floats) fits amd64's 16 XMM registers; see micro4x2
-	// in gemm.go for the measured cost of exceeding that.
+	// gemmMR × gemmNR is the float64 register tile: the micro-kernel keeps
+	// a full MR×NR block of C in scalar registers across the k loop. 4×2
+	// is the largest tile whose working set (MR·NR accumulators + MR A
+	// values + NR B values = 14 doubles) fits amd64's 16 XMM registers;
+	// see micro4x2 in gemm.go for the measured cost of exceeding that.
+	// float32 uses the wider f32MR×f32NR tile (gemm_f32_*.go): at half the
+	// element width a 128-bit register holds a 4-lane row, so the f32
+	// kernel keeps an 8×4 C block in 8 XMM registers.
 	gemmMR = 4
 	gemmNR = 2
-	// gemmMC rows of A are packed per panel (multiple of gemmMR).
+	// gemmMC rows of A are packed per panel. Must be a multiple of every
+	// candidate MR (4 and 8).
 	gemmMC = 128
 	// gemmKC is the depth of one packed panel pair: an A panel is
-	// gemmMC×gemmKC (256 KB), small enough to stay cache-resident while
-	// the B panel streams against it.
+	// gemmMC×gemmKC (256 KB at f64), small enough to stay cache-resident
+	// while the B panel streams against it.
 	gemmKC = 256
-	// gemmNC columns of B are packed per panel (multiple of gemmNR).
+	// gemmNC columns of B are packed per panel. Must be a multiple of
+	// every candidate NR (2 and 4).
 	gemmNC = 240
+	// gemmMaxMR/gemmMaxNR bound the register tile across element types;
+	// they size the shared accumulator (gemmAccLen in gemm.go) and the
+	// per-panel scratch arrays in the virtual conv packers.
+	gemmMaxMR = 8
+	gemmMaxNR = 4
 )
 
+// microTile returns the (MR, NR) register tile for element type T.
+func microTile[T Float]() (int, int) {
+	if isF32[T]() {
+		return f32MR, f32NR
+	}
+	return gemmMR, gemmNR
+}
+
 // packA copies the mc×kc block of the logical matrix A starting at row i0,
-// depth p0 into ap as column-major micro-panels of gemmMR rows, zero-
-// padding the last panel when mc is not a multiple of gemmMR. Element
-// (i, l) of the logical (possibly transposed) A is ad[i*ars + l*acs].
-func packA(ap, ad []float64, ars, acs, i0, p0, mc, kc int) {
+// depth p0 into ap as column-major micro-panels of mr rows, zero-padding
+// the last panel when mc is not a multiple of mr. Element (i, l) of the
+// logical (possibly transposed) A is ad[i*ars + l*acs].
+func packA[T Float](ap, ad []T, ars, acs, i0, p0, mc, kc, mr int) {
 	idx := 0
-	for ir := 0; ir < mc; ir += gemmMR {
-		rows := min(gemmMR, mc-ir)
+	for ir := 0; ir < mc; ir += mr {
+		rows := min(mr, mc-ir)
 		base := (i0+ir)*ars + p0*acs
 		for l := 0; l < kc; l++ {
 			off := base + l*acs
 			for r := 0; r < rows; r++ {
 				ap[idx+r] = ad[off+r*ars]
 			}
-			for r := rows; r < gemmMR; r++ {
+			for r := rows; r < mr; r++ {
 				ap[idx+r] = 0
 			}
-			idx += gemmMR
+			idx += mr
 		}
 	}
 }
 
 // packB copies the kc×nc block of the logical matrix B starting at depth
-// p0, column j0 into bp as row-major micro-panels of gemmNR columns,
-// zero-padding the last panel when nc is not a multiple of gemmNR.
+// p0, column j0 into bp as row-major micro-panels of nr columns,
+// zero-padding the last panel when nc is not a multiple of nr.
 // Element (l, j) of the logical (possibly transposed) B is
 // bd[l*brs + j*bcs].
-func packB(bp, bd []float64, brs, bcs, p0, j0, kc, nc int) {
+func packB[T Float](bp, bd []T, brs, bcs, p0, j0, kc, nc, nr int) {
 	idx := 0
-	for jr := 0; jr < nc; jr += gemmNR {
-		cols := min(gemmNR, nc-jr)
+	for jr := 0; jr < nc; jr += nr {
+		cols := min(nr, nc-jr)
 		base := p0*brs + (j0+jr)*bcs
 		for l := 0; l < kc; l++ {
 			off := base + l*brs
 			for c := 0; c < cols; c++ {
 				bp[idx+c] = bd[off+c*bcs]
 			}
-			for c := cols; c < gemmNR; c++ {
+			for c := cols; c < nr; c++ {
 				bp[idx+c] = 0
 			}
-			idx += gemmNR
+			idx += nr
 		}
 	}
 }

@@ -1,7 +1,15 @@
-// Package tensor provides dense float64 tensors and the numerical kernels
-// (matrix multiply, im2col, elementwise maps) used by the neural-network
-// training substrate. Everything is CPU-only, allocation-conscious and
-// parallelized across goroutines where the problem size warrants it.
+// Package tensor provides dense float32/float64 tensors and the
+// numerical kernels (matrix multiply, implicit-GEMM convolution,
+// elementwise maps) used by the neural-network training substrate.
+// Everything is CPU-only, allocation-conscious and parallelized across
+// goroutines where the problem size warrants it.
+//
+// The element type is a compile-time generic choice: TensorOf[T] is the
+// real type, Tensor is an alias for TensorOf[float64] (the reference
+// precision), and every kernel is instantiated per element type.
+// Scalar-crossing accessors (At, Set, Fill, Sum, …) keep float64
+// signatures so precision-agnostic callers never see T; only Data
+// exposes the raw element type.
 package tensor
 
 import (
@@ -10,16 +18,25 @@ import (
 	"math/rand"
 )
 
-// Tensor is a dense, row-major float64 tensor. The zero value is an empty
-// tensor; use New or From to construct usable instances.
-type Tensor struct {
+// TensorOf is a dense, row-major tensor over element type T. The zero
+// value is an empty tensor; use NewOf or From to construct usable
+// instances.
+type TensorOf[T Float] struct {
 	shape []int
-	data  []float64
+	data  []T
 }
 
-// New returns a zero-filled tensor with the given shape. It panics if any
-// dimension is negative.
-func New(shape ...int) *Tensor {
+// Tensor is the float64 instantiation — the reference precision used by
+// the federated aggregation path and all precision-agnostic callers.
+type Tensor = TensorOf[float64]
+
+// New returns a zero-filled float64 tensor with the given shape. It
+// panics if any dimension is negative.
+func New(shape ...int) *Tensor { return NewOf[float64](shape...) }
+
+// NewOf returns a zero-filled tensor of element type T with the given
+// shape. It panics if any dimension is negative.
+func NewOf[T Float](shape ...int) *TensorOf[T] {
 	n := 1
 	for _, d := range shape {
 		if d < 0 {
@@ -33,13 +50,13 @@ func New(shape ...int) *Tensor {
 	}
 	s := make([]int, len(shape))
 	copy(s, shape)
-	return &Tensor{shape: s, data: make([]float64, n)}
+	return &TensorOf[T]{shape: s, data: make([]T, n)}
 }
 
 // From wraps the given data slice in a tensor with the given shape. The
 // slice is used directly (not copied); it panics if the length does not
 // match the shape volume.
-func From(data []float64, shape ...int) *Tensor {
+func From[T Float](data []T, shape ...int) *TensorOf[T] {
 	n := 1
 	for _, d := range shape {
 		n *= d
@@ -49,7 +66,7 @@ func From(data []float64, shape ...int) *Tensor {
 	}
 	s := make([]int, len(shape))
 	copy(s, shape)
-	return &Tensor{shape: s, data: data}
+	return &TensorOf[T]{shape: s, data: data}
 }
 
 // EnsureShape returns t when it already has exactly the wanted shape and
@@ -59,7 +76,7 @@ func From(data []float64, shape ...int) *Tensor {
 // scratch must Zero it themselves when t comes back unchanged.
 //
 // fedlint:hotpath
-func EnsureShape(t *Tensor, shape ...int) *Tensor {
+func EnsureShape[T Float](t *TensorOf[T], shape ...int) *TensorOf[T] {
 	if t != nil && len(t.shape) == len(shape) {
 		same := true
 		for i, d := range shape {
@@ -72,46 +89,54 @@ func EnsureShape(t *Tensor, shape ...int) *Tensor {
 			return t
 		}
 	}
-	return New(shape...) //fedlint:allow hotalloc — reallocates only when the batch geometry changes, never in steady state
+	return NewOf[T](shape...) //fedlint:allow hotalloc — reallocates only when the batch geometry changes, never in steady state
 }
 
-// Randn fills a new tensor of the given shape with samples from a normal
-// distribution with the given standard deviation, using rng.
+// Randn fills a new float64 tensor of the given shape with samples from
+// a normal distribution with the given standard deviation, using rng.
 func Randn(rng *rand.Rand, std float64, shape ...int) *Tensor {
-	t := New(shape...)
+	return RandnOf[float64](rng, std, shape...)
+}
+
+// RandnOf is Randn for an arbitrary element type. The draw count and
+// sequence are precision-independent (one NormFloat64 per element), so
+// an f32 and an f64 model built from the same seed see the same
+// underlying random stream.
+func RandnOf[T Float](rng *rand.Rand, std float64, shape ...int) *TensorOf[T] {
+	t := NewOf[T](shape...)
 	for i := range t.data {
-		t.data[i] = rng.NormFloat64() * std
+		t.data[i] = T(rng.NormFloat64() * std)
 	}
 	return t
 }
 
 // Shape returns the tensor shape. The returned slice must not be mutated.
-func (t *Tensor) Shape() []int { return t.shape }
+func (t *TensorOf[T]) Shape() []int { return t.shape }
 
 // Data returns the backing slice in row-major order. Mutations are visible
 // to the tensor.
-func (t *Tensor) Data() []float64 { return t.data }
+func (t *TensorOf[T]) Data() []T { return t.data }
 
 // Len returns the total number of elements.
-func (t *Tensor) Len() int { return len(t.data) }
+func (t *TensorOf[T]) Len() int { return len(t.data) }
 
 // Dim returns the size of dimension i.
-func (t *Tensor) Dim(i int) int { return t.shape[i] }
+func (t *TensorOf[T]) Dim(i int) int { return t.shape[i] }
 
 // Rank returns the number of dimensions.
-func (t *Tensor) Rank() int { return len(t.shape) }
+func (t *TensorOf[T]) Rank() int { return len(t.shape) }
 
 // At returns the element at the given multi-index.
-func (t *Tensor) At(idx ...int) float64 {
-	return t.data[t.offset(idx)]
+func (t *TensorOf[T]) At(idx ...int) float64 {
+	return float64(t.data[t.offset(idx)])
 }
 
 // Set assigns the element at the given multi-index.
-func (t *Tensor) Set(v float64, idx ...int) {
-	t.data[t.offset(idx)] = v
+func (t *TensorOf[T]) Set(v float64, idx ...int) {
+	t.data[t.offset(idx)] = T(v)
 }
 
-func (t *Tensor) offset(idx []int) int {
+func (t *TensorOf[T]) offset(idx []int) int {
 	if len(idx) != len(t.shape) {
 		panic(fmt.Sprintf("tensor: index rank %d does not match shape %v", len(idx), t.shape))
 	}
@@ -126,15 +151,15 @@ func (t *Tensor) offset(idx []int) int {
 }
 
 // Clone returns a deep copy of the tensor.
-func (t *Tensor) Clone() *Tensor {
-	c := New(t.shape...)
+func (t *TensorOf[T]) Clone() *TensorOf[T] {
+	c := NewOf[T](t.shape...)
 	copy(c.data, t.data)
 	return c
 }
 
 // Reshape returns a tensor sharing t's data with a new shape of equal
 // volume. It panics on volume mismatch.
-func (t *Tensor) Reshape(shape ...int) *Tensor {
+func (t *TensorOf[T]) Reshape(shape ...int) *TensorOf[T] {
 	n := 1
 	for _, d := range shape {
 		n *= d
@@ -144,70 +169,75 @@ func (t *Tensor) Reshape(shape ...int) *Tensor {
 	}
 	s := make([]int, len(shape))
 	copy(s, shape)
-	return &Tensor{shape: s, data: t.data}
+	return &TensorOf[T]{shape: s, data: t.data}
 }
 
 // Zero sets all elements to zero.
 //
 // fedlint:hotpath
-func (t *Tensor) Zero() {
+func (t *TensorOf[T]) Zero() {
 	for i := range t.data {
 		t.data[i] = 0
 	}
 }
 
 // Fill sets all elements to v.
-func (t *Tensor) Fill(v float64) {
+func (t *TensorOf[T]) Fill(v float64) {
+	tv := T(v)
 	for i := range t.data {
-		t.data[i] = v
+		t.data[i] = tv
 	}
 }
 
 // Scale multiplies every element by a.
 //
 // fedlint:hotpath
-func (t *Tensor) Scale(a float64) {
+func (t *TensorOf[T]) Scale(a float64) {
+	av := T(a)
 	for i := range t.data {
-		t.data[i] *= a
+		t.data[i] *= av
 	}
 }
 
 // AddScaled adds a*src to t elementwise. The tensors must have equal length.
 //
 // fedlint:hotpath
-func (t *Tensor) AddScaled(a float64, src *Tensor) {
+func (t *TensorOf[T]) AddScaled(a float64, src *TensorOf[T]) {
 	if len(src.data) != len(t.data) {
 		panic("tensor: AddScaled length mismatch")
 	}
+	av := T(a)
 	for i, v := range src.data {
-		t.data[i] += a * v
+		t.data[i] += av * v
 	}
 }
 
 // Add adds src to t elementwise.
-func (t *Tensor) Add(src *Tensor) { t.AddScaled(1, src) }
+func (t *TensorOf[T]) Add(src *TensorOf[T]) { t.AddScaled(1, src) }
 
-// Apply replaces every element x with f(x).
-func (t *Tensor) Apply(f func(float64) float64) {
+// Apply replaces every element x with f(x). The map runs through
+// float64, which is exact for f64 tensors and rounds once per element
+// for f32.
+func (t *TensorOf[T]) Apply(f func(float64) float64) {
 	for i, v := range t.data {
-		t.data[i] = f(v)
+		t.data[i] = T(f(float64(v)))
 	}
 }
 
-// Sum returns the sum of all elements.
-func (t *Tensor) Sum() float64 {
+// Sum returns the sum of all elements, accumulated in float64.
+func (t *TensorOf[T]) Sum() float64 {
 	s := 0.0
 	for _, v := range t.data {
-		s += v
+		s += float64(v)
 	}
 	return s
 }
 
 // MaxAbs returns the largest absolute element value (0 for empty tensors).
-func (t *Tensor) MaxAbs() float64 {
+func (t *TensorOf[T]) MaxAbs() float64 {
 	m := 0.0
 	for _, v := range t.data {
-		if a := math.Abs(v); a > m {
+		if a := math.Abs(float64(v)); a > m {
 			m = a
 		}
 	}
@@ -216,7 +246,7 @@ func (t *Tensor) MaxAbs() float64 {
 
 // Equal reports whether two tensors have identical shapes and elements
 // within tolerance eps.
-func Equal(a, b *Tensor, eps float64) bool {
+func Equal[T Float](a, b *TensorOf[T], eps float64) bool {
 	if len(a.shape) != len(b.shape) {
 		return false
 	}
@@ -226,7 +256,7 @@ func Equal(a, b *Tensor, eps float64) bool {
 		}
 	}
 	for i := range a.data {
-		if math.Abs(a.data[i]-b.data[i]) > eps {
+		if math.Abs(float64(a.data[i])-float64(b.data[i])) > eps {
 			return false
 		}
 	}
@@ -234,6 +264,6 @@ func Equal(a, b *Tensor, eps float64) bool {
 }
 
 // String renders a compact description, not the full contents.
-func (t *Tensor) String() string {
+func (t *TensorOf[T]) String() string {
 	return fmt.Sprintf("Tensor%v", t.shape)
 }

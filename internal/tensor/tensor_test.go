@@ -228,7 +228,7 @@ func TestIm2ColConvMatchesNaive(t *testing.T) {
 	} {
 		x := Randn(rng, 1, tc.n, tc.c, tc.h, tc.w)
 		w := Randn(rng, 1, tc.f, tc.c, tc.k, tc.k)
-		cols := Im2Col(x, tc.k, tc.k, tc.stride, tc.pad)
+		cols := im2col(x, tc.k, tc.k, tc.stride, tc.pad)
 		wm := w.Reshape(tc.f, tc.c*tc.k*tc.k)
 		// (N*OH*OW, CKK) · (CKK, F) then permute to (N,F,OH,OW).
 		ym := MatMulTransB(cols, wm)
@@ -253,18 +253,18 @@ func TestIm2ColConvMatchesNaive(t *testing.T) {
 }
 
 func TestCol2ImAdjointProperty(t *testing.T) {
-	// <Im2Col(x), g> must equal <x, Col2Im(g)> — the defining property of
+	// <im2col(x), g> must equal <x, col2im(g)> — the defining property of
 	// an adjoint pair, which is exactly what backprop relies on.
 	rng := rand.New(rand.NewSource(13))
 	n, c, h, w, k, stride, pad := 2, 2, 6, 6, 3, 1, 1
 	x := Randn(rng, 1, n, c, h, w)
-	cols := Im2Col(x, k, k, stride, pad)
+	cols := im2col(x, k, k, stride, pad)
 	g := Randn(rng, 1, cols.Dim(0), cols.Dim(1))
 	lhs := 0.0
 	for i, v := range cols.Data() {
 		lhs += v * g.Data()[i]
 	}
-	back := Col2Im(g, n, c, h, w, k, k, stride, pad)
+	back := col2im(g, n, c, h, w, k, k, stride, pad)
 	rhs := 0.0
 	for i, v := range x.Data() {
 		rhs += v * back.Data()[i]
@@ -301,6 +301,6 @@ func BenchmarkIm2Col(b *testing.B) {
 	x := Randn(rng, 1, 8, 3, 16, 16)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Im2Col(x, 3, 3, 1, 1)
+		im2col(x, 3, 3, 1, 1)
 	}
 }
