@@ -11,7 +11,8 @@ GO ?= go
 # (or re-record the baselines, see README) when moving to new hardware.
 BENCH_MAX_SLOWDOWN ?= 1.15
 
-.PHONY: build test vet lint fmt-check check race race-tensor trace-golden \
+.PHONY: build test vet lint lint-ci lint-baseline fuzz-smoke fmt-check \
+	check check-nolint race race-tensor trace-golden \
 	bench bench-parallel bench-gemm bench-gemm-f32 bench-sched bench-ci \
 	bench-regression \
 	population-smoke
@@ -26,10 +27,31 @@ vet:
 	$(GO) vet ./...
 
 # fedlint enforces the determinism and allocation-free invariants
-# (see DESIGN.md "Determinism & hot-path invariants"); non-zero exit on
-# any unsuppressed finding.
+# (see DESIGN.md "Determinism & hot-path invariants"): the per-package
+# passes plus the interprocedural ones over the repo-wide call graph.
+# Non-zero exit on any finding not accepted by .fedlint-baseline.json.
 lint:
 	$(GO) run ./cmd/fedlint ./...
+
+# CI flavour of lint: same gate, but findings come out as GitHub Actions
+# ::error annotations so they land on the diff view.
+lint-ci:
+	$(GO) run ./cmd/fedlint -github ./...
+
+# Accept every current finding into the baseline ledger. The diff to
+# .fedlint-baseline.json is reviewed like code — prefer fixing or a
+# justified fedlint:allow.
+lint-baseline:
+	$(GO) run ./cmd/fedlint -write-baseline ./...
+
+# Short native-fuzz pass over the property-based targets: the sparse
+# Fed-LBAP solver against the dense oracle, and the cohort samplers'
+# sortedness/bounds/determinism contract. Seeds live under testdata/fuzz;
+# CI runs this in the lint lane.
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/sched -run '^$$' -fuzz FuzzSparseFedLBAP -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/sample -run '^$$' -fuzz FuzzCohort -fuzztime $(FUZZTIME)
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -40,6 +62,11 @@ fmt-check:
 # slow to gate every local pre-push run. CI covers the gap — its `race`
 # job runs `make race` on every push in parallel with this gate.
 check: build vet lint test race-tensor
+
+# The check gate without the lint pass — what CI's `check` job runs now
+# that lint has its own cached job (with annotations and the fuzz
+# smoke). Local pre-push runs should keep using `make check`.
+check-nolint: build vet test race-tensor
 
 race:
 	$(GO) test -race ./internal/fl/... ./internal/tensor/...

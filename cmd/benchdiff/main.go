@@ -122,10 +122,16 @@ func extractHardware(doc []byte) (*hardware, error) {
 }
 
 // hardwareWarning compares a baseline's recorded machine against this one
-// and returns a human-readable warning, or "" when they match (or the
-// baseline carries no record).
+// and returns a human-readable warning, or "" when they match. A baseline
+// with no hardware record at all also warns: silently accepting it hides
+// that the comparison may be cross-machine, the exact condition the
+// record exists to expose.
 func hardwareWarning(path string, hw *hardware, nproc int) string {
-	if hw == nil || hw.Nproc == 0 || hw.Nproc == nproc {
+	if hw == nil || hw.Nproc == 0 {
+		return fmt.Sprintf("warning: %s carries no hardware record; the baseline may come from a different machine — re-record it to stamp the current hardware",
+			path)
+	}
+	if hw.Nproc == nproc {
 		return ""
 	}
 	return fmt.Sprintf("warning: %s was recorded on a %d-core machine (%s); this machine has %d cores — absolute ns/op ratios may not be meaningful, consider re-recording baselines",

@@ -165,11 +165,15 @@ func TestHardwareWarning(t *testing.T) {
 	} else if !strings.Contains(w, "BENCH_x.json") || !strings.Contains(w, "8 cores") {
 		t.Fatalf("warning lacks context: %q", w)
 	}
-	if w := hardwareWarning("BENCH_x.json", nil, 8); w != "" {
-		t.Fatalf("nil hardware warned: %q", w)
+	if w := hardwareWarning("BENCH_x.json", nil, 8); w == "" {
+		t.Fatal("baseline without a hardware record produced no warning")
+	} else if !strings.Contains(w, "no hardware record") || !strings.Contains(w, "BENCH_x.json") {
+		t.Fatalf("missing-record warning lacks context: %q", w)
 	}
-	if w := hardwareWarning("BENCH_x.json", &hardware{}, 8); w != "" {
-		t.Fatalf("zero-value hardware warned: %q", w)
+	if w := hardwareWarning("BENCH_x.json", &hardware{}, 8); w == "" {
+		t.Fatal("zero-value hardware record produced no warning")
+	} else if !strings.Contains(w, "no hardware record") {
+		t.Fatalf("zero-value record warning lacks context: %q", w)
 	}
 }
 

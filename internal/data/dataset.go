@@ -54,23 +54,28 @@ func (d *Dataset) Batch(i0, i1 int) (*tensor.Tensor, []int) {
 		panic(fmt.Sprintf("data: bad batch range [%d,%d) for %d samples", i0, i1, d.Len()))
 	}
 	sz := d.SampleSize()
+	//fedlint:allow hotalloc — From wraps the dataset's storage; only the O(1) header is allocated
 	x := tensor.From(d.X.Data()[i0*sz:i1*sz], i1-i0, d.C, d.H, d.W)
 	return x, d.Labels[i0:i1]
 }
 
-// Shuffle permutes the samples in place using rng.
+// Shuffle permutes the samples in place using rng. Samples are swapped
+// element-wise rather than through a scratch buffer: Shuffle runs every
+// round on every client's training path, and the buffer was a
+// sample-sized allocation per call. The draw sequence and the resulting
+// permutation are unchanged.
 func (d *Dataset) Shuffle(rng *rand.Rand) {
 	sz := d.SampleSize()
-	buf := make([]float64, sz)
 	xd := d.X.Data()
 	for i := d.Len() - 1; i > 0; i-- {
 		j := rng.Intn(i + 1)
 		if i == j {
 			continue
 		}
-		copy(buf, xd[i*sz:(i+1)*sz])
-		copy(xd[i*sz:(i+1)*sz], xd[j*sz:(j+1)*sz])
-		copy(xd[j*sz:(j+1)*sz], buf)
+		a, b := xd[i*sz:(i+1)*sz], xd[j*sz:(j+1)*sz]
+		for k := range a {
+			a[k], b[k] = b[k], a[k]
+		}
 		d.Labels[i], d.Labels[j] = d.Labels[j], d.Labels[i]
 	}
 }

@@ -204,7 +204,7 @@ func (d *Device) TrainSamples(arch *nn.Arch, n, batch int) (float64, []BatchPoin
 	util := d.utilization(flops)
 	start := d.NowSeconds
 	batches := (n + batch - 1) / batch
-	trace := make([]BatchPoint, 0, batches)
+	trace := make([]BatchPoint, batches)
 	for b := 0; b < batches; b++ {
 		size := batch
 		if rem := n - b*batch; rem < size {
@@ -222,13 +222,13 @@ func (d *Device) TrainSamples(arch *nn.Arch, n, batch int) (float64, []BatchPoin
 			work -= tput * thermalStep
 			d.advance(thermalStep, util, true)
 		}
-		trace = append(trace, BatchPoint{
+		trace[b] = BatchPoint{
 			Batch:     b,
 			Seconds:   d.NowSeconds - bStart,
 			TempC:     d.TempC,
 			FreqGHz:   d.effectiveFreqGHz(),
 			BigOnline: !d.bigOffline,
-		})
+		}
 	}
 	return d.NowSeconds - start, trace
 }

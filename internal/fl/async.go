@@ -69,6 +69,9 @@ type AsyncHistory struct {
 // event loop advances other clients. The loop joins each future at the
 // client's merge event, which keeps every server merge in exact virtual
 // time order — results are bit-identical to the sequential engine.
+//
+// fedlint:deterministic
+// fedlint:trace KindMerge
 func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHistory, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Arch == nil {

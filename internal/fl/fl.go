@@ -169,6 +169,11 @@ type History struct {
 }
 
 // Run executes synchronous FedAvg. test may be nil to skip evaluation.
+// The history and trace are bit-identical for any Workers value at a
+// fixed seed, and every round emits its per-client and summary events.
+//
+// fedlint:deterministic
+// fedlint:trace KindClientRound,KindRoundSummary
 func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Arch == nil {

@@ -52,6 +52,9 @@ type GossipHistory struct {
 
 // RunGossip executes decentralized training. test may be nil (accuracy
 // fields stay zero).
+//
+// fedlint:deterministic
+// fedlint:trace KindClientRound,KindRoundSummary
 func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*GossipHistory, error) {
 	cfg.Config = cfg.Config.withDefaults()
 	if cfg.Arch == nil {

@@ -236,6 +236,8 @@ func NewPopulationRunner(cfg PopulationConfig) (*PopulationRunner, error) {
 // join).
 //
 // fedlint:hotpath
+// fedlint:deterministic
+// fedlint:trace KindClientRound,KindRoundSummary
 func (r *PopulationRunner) Round(round int) (PopulationRound, error) {
 	cfg := r.cfg
 	pr := PopulationRound{Round: round, Straggler: -1}

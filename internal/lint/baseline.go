@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Baseline is the accepted-findings ledger (.fedlint-baseline.json at
+// the module root). CI fails on any finding not in the baseline; the
+// baseline itself is reviewed like code. Entries are keyed on check,
+// module-relative file and message — deliberately not on line numbers,
+// so unrelated edits shifting a file do not invalidate the ledger, while
+// any change to the finding itself (new site, new message) surfaces.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+
+	index map[string]bool
+}
+
+// BaselineEntry is one accepted finding.
+type BaselineEntry struct {
+	Check   string `json:"check"`
+	File    string `json:"file"` // module-relative, slash-separated
+	Message string `json:"message"`
+}
+
+func baselineKey(check, file, message string) string {
+	return check + "\x00" + file + "\x00" + message
+}
+
+// LoadBaseline reads a baseline file. A missing file is not an error: it
+// loads as an empty baseline, so a repo without accepted findings needs
+// no ledger on disk.
+func LoadBaseline(path string) (*Baseline, error) {
+	b := &Baseline{index: make(map[string]bool)}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return b, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, fmt.Errorf("lint: parsing baseline %s: %w", path, err)
+	}
+	for _, e := range b.Findings {
+		b.index[baselineKey(e.Check, e.File, e.Message)] = true
+	}
+	return b, nil
+}
+
+// Has reports whether a finding is accepted by the baseline. file must
+// be module-relative with forward slashes (see RelFile).
+func (b *Baseline) Has(check, file, message string) bool {
+	if b == nil {
+		return false
+	}
+	return b.index[baselineKey(check, file, message)]
+}
+
+// Filter splits diagnostics into new findings and baselined ones.
+func (b *Baseline) Filter(diags []Diagnostic, modDir string) (fresh, accepted []Diagnostic) {
+	for _, d := range diags {
+		if b.Has(d.Check, RelFile(d.Pos.Filename, modDir), d.Message) {
+			accepted = append(accepted, d)
+		} else {
+			fresh = append(fresh, d)
+		}
+	}
+	return fresh, accepted
+}
+
+// MarshalBaseline renders diagnostics as a baseline file, sorted and
+// deduplicated, ready to be written to disk by `fedlint -write-baseline`.
+func MarshalBaseline(diags []Diagnostic, modDir string) ([]byte, error) {
+	seen := make(map[string]bool)
+	b := Baseline{Findings: []BaselineEntry{}}
+	for _, d := range diags {
+		e := BaselineEntry{Check: d.Check, File: RelFile(d.Pos.Filename, modDir), Message: d.Message}
+		k := baselineKey(e.Check, e.File, e.Message)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		b.Findings = append(b.Findings, e)
+	}
+	sort.Slice(b.Findings, func(i, j int) bool {
+		a, c := b.Findings[i], b.Findings[j]
+		if a.File != c.File {
+			return a.File < c.File
+		}
+		if a.Check != c.Check {
+			return a.Check < c.Check
+		}
+		return a.Message < c.Message
+	})
+	out, err := json.MarshalIndent(&b, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// RelFile normalizes a diagnostic's file name to the module-relative
+// slash form the baseline stores.
+func RelFile(filename, modDir string) string {
+	if rel, err := filepath.Rel(modDir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}

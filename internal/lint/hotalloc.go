@@ -42,15 +42,43 @@ const hotpathMarker = "fedlint:hotpath"
 // (`// fedlint:hotpath`) and the directive form (`//fedlint:hotpath`)
 // mark a root — ast.CommentGroup.Text() silently drops directives.
 func isHotpath(fd *ast.FuncDecl) bool {
-	if fd.Doc == nil {
-		return false
-	}
-	for _, c := range fd.Doc.List {
-		if strings.Contains(c.Text, hotpathMarker) {
-			return true
+	return declMarker(fd, hotpathMarker)
+}
+
+// HotAllocProg is the whole-program extension of HotAlloc: the same
+// three allocation shapes, but flooded over the cross-package call
+// graph, so a hotpath root in internal/fl taints the data and tensor
+// helpers it statically calls. It reuses the per-package body checker
+// and the same check name, so existing //fedlint:allow hotalloc
+// directives keep working. In whole-program mode this subsumes (and
+// replaces) the per-package pass.
+var HotAllocProg = &ProgramAnalyzer{
+	Name: "hotalloc",
+	Doc:  "interprocedural hotalloc: allocations reachable from // fedlint:hotpath roots across package boundaries",
+	Run:  runHotAllocProg,
+}
+
+func runHotAllocProg(pr *Program) []Diagnostic {
+	roots := pr.rootsWith(hotpathMarker)
+	reached := pr.flood(roots, "hotalloc", func(pf *ProgFunc) bool {
+		// The New* constructors are the allocation primitives the pass
+		// reports at call sites; they are never entered.
+		return isTensorNew(pf.Fn)
+	})
+	var diags []Diagnostic
+	for _, key := range sortedReach(reached) {
+		node := reached[key]
+		pf := pr.Funcs[key]
+		root := pf.Decl.Name.Name
+		if node.parent != nil {
+			root = pr.Funcs[rootNode(node).key].String()
 		}
+		r := &reporter{p: pf.Pkg, check: "hotalloc"}
+		pf.Pkg.checkHotBody(r, pf.Decl, root)
+		diags = append(diags, r.done()...)
 	}
-	return false
+	sortDiagnostics(diags)
+	return diags
 }
 
 func runHotAlloc(p *Package) []Diagnostic {

@@ -86,6 +86,29 @@ func ByName(name string) *Analyzer {
 	return nil
 }
 
+// NonDetPackages are the module-relative package paths whose results
+// must be bit-identical across runs, workers and lanes — the scope of
+// the nondet pass. Everything the FL engines touch numerically is here;
+// the experiment drivers deliberately are not (they time wall clocks for
+// their report tables). Shared by the fedlint driver and the repo-gate
+// test.
+var NonDetPackages = map[string]bool{
+	"internal/fl":     true,
+	"internal/sched":  true,
+	"internal/sim":    true,
+	"internal/tensor": true,
+	"internal/nn":     true,
+}
+
+// NonDetScope reports whether the package at import path — possibly an
+// external test package carrying the loader's "_test" path suffix —
+// falls inside the nondet scope.
+func NonDetScope(path, modPath string) bool {
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, modPath), "/")
+	rel = strings.TrimSuffix(rel, "_test")
+	return NonDetPackages[rel]
+}
+
 // allowRe matches a suppression comment. The leading "//" is already
 // stripped by the time we match (comment.Text trims it), so the pattern
 // anchors on the directive itself.
@@ -192,9 +215,12 @@ func (p *Package) pkgNameOf(id *ast.Ident) *types.PkgName {
 // (function values, interface methods resolve to the abstract method).
 // Explicitly instantiated generic calls (kernel[float32](…) parses as an
 // *ast.IndexExpr around the callee, kernel[A, B](…) as an
-// *ast.IndexListExpr) are unwrapped to the generic origin function —
-// the same object Info.Defs records for its declaration, so the
-// hotalloc flood-fill follows hotness through instantiated generics.
+// *ast.IndexListExpr) are unwrapped to the generic origin function, and
+// the result is always folded to its Origin — method calls on an
+// instantiated receiver (opt.Step where opt is *SGDOf[float32]) resolve
+// in Info.Uses to the instantiated method object, which is not the one
+// Info.Defs records for the declaration; without the fold the call-graph
+// edge silently goes dark.
 func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
 	fun := ast.Unparen(call.Fun)
 	switch idx := fun.(type) {
@@ -206,11 +232,11 @@ func (p *Package) calleeFunc(call *ast.CallExpr) *types.Func {
 	switch fun := fun.(type) {
 	case *ast.Ident:
 		if fn, ok := p.Info.Uses[fun].(*types.Func); ok {
-			return fn
+			return fn.Origin()
 		}
 	case *ast.SelectorExpr:
 		if fn, ok := p.Info.Uses[fun.Sel].(*types.Func); ok {
-			return fn
+			return fn.Origin()
 		}
 	}
 	return nil

@@ -12,12 +12,27 @@ import (
 )
 
 // fixturePasses maps each fixture package under testdata/src to the
-// analyzer it exercises.
+// per-package analyzer it exercises.
 var fixturePasses = map[string]*Analyzer{
 	"nondet":     NonDet,
 	"hotalloc":   HotAlloc,
 	"floateq":    FloatEq,
 	"syncmisuse": SyncMisuse,
+}
+
+// fixtureProgramPasses maps each whole-program fixture to its analyzer
+// and the packages built into its Program; // want expectations are
+// parsed from every listed package directory, so cross-package findings
+// (detflowdep, hotallocdep) anchor in the file where they are reported.
+var fixtureProgramPasses = map[string]struct {
+	analyzer *ProgramAnalyzer
+	pkgs     []string
+}{
+	"detflow":        {DetFlow, []string{"detflow", "detflowdep"}},
+	"goroutinebound": {GoroutineBound, []string{"goroutinebound", "tensor"}},
+	"floatorder":     {FloatOrder, []string{"floatorder"}},
+	"tracecomplete":  {TraceComplete, []string{"tracecomplete", "trace"}},
+	"hotallocx":      {HotAllocProg, []string{"hotallocx", "hotallocdep"}},
 }
 
 // fixtureLoader builds a loader whose Aux table maps every directory
@@ -57,45 +72,78 @@ type wantKey struct {
 }
 
 // parseWants reads the // want annotations out of every fixture file in
-// dir, keyed by file:line.
-func parseWants(t *testing.T, dir string) map[wantKey][]*regexp.Regexp {
+// the given directories, keyed by file:line. At least one annotation
+// must exist across the union (individual directories may have none —
+// stubs shared between fixtures stay expectation-free).
+func parseWants(t *testing.T, dirs ...string) map[wantKey][]*regexp.Regexp {
 	t.Helper()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatal(err)
-	}
 	wants := make(map[wantKey][]*regexp.Regexp)
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
 		if err != nil {
 			t.Fatal(err)
 		}
-		for i, line := range strings.Split(string(data), "\n") {
-			m := wantRe.FindStringSubmatch(line)
-			if m == nil {
+		for _, e := range entries {
+			if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 				continue
 			}
-			args := wantArgRe.FindAllStringSubmatch(m[1], -1)
-			if len(args) == 0 {
-				t.Fatalf("%s:%d: want comment with no backtick-quoted pattern", e.Name(), i+1)
+			data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+			if err != nil {
+				t.Fatal(err)
 			}
-			key := wantKey{file: e.Name(), line: i + 1}
-			for _, a := range args {
-				re, err := regexp.Compile(a[1])
-				if err != nil {
-					t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, a[1], err)
+			for i, line := range strings.Split(string(data), "\n") {
+				m := wantRe.FindStringSubmatch(line)
+				if m == nil {
+					continue
 				}
-				wants[key] = append(wants[key], re)
+				args := wantArgRe.FindAllStringSubmatch(m[1], -1)
+				if len(args) == 0 {
+					t.Fatalf("%s:%d: want comment with no backtick-quoted pattern", e.Name(), i+1)
+				}
+				key := wantKey{file: e.Name(), line: i + 1}
+				for _, a := range args {
+					re, err := regexp.Compile(a[1])
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", e.Name(), i+1, a[1], err)
+					}
+					wants[key] = append(wants[key], re)
+				}
 			}
 		}
 	}
 	if len(wants) == 0 {
-		t.Fatalf("no // want annotations found in %s", dir)
+		t.Fatalf("no // want annotations found in %v", dirs)
 	}
 	return wants
+}
+
+// matchWants checks diagnostics against expectations exactly: every want
+// must be matched by a diagnostic on its line, and every diagnostic must
+// be claimed by a want.
+func matchWants(t *testing.T, got []Diagnostic, wants map[wantKey][]*regexp.Regexp) {
+	t.Helper()
+	matched := make(map[string]bool)
+	for _, d := range got {
+		key := wantKey{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}
+		ok := false
+		for i, re := range wants[key] {
+			if re.MatchString(d.Message) {
+				matched[fmt.Sprintf("%s:%d:%d", key.file, key.line, i)] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic at %s:%d: %s", key.file, key.line, d.Message)
+		}
+	}
+	for key, res := range wants {
+		for i, re := range res {
+			if !matched[fmt.Sprintf("%s:%d:%d", key.file, key.line, i)] {
+				t.Errorf("missing diagnostic at %s:%d matching %q", key.file, key.line, re)
+			}
+		}
+	}
 }
 
 // TestFixtures runs each analyzer over its seeded fixture package and
@@ -117,29 +165,36 @@ func TestFixtures(t *testing.T) {
 				t.Fatal(err)
 			}
 			got := a.Run(pkg)
-			wants := parseWants(t, l.Aux[name])
-			matched := make(map[string]bool)
-			for _, d := range got {
-				key := wantKey{file: filepath.Base(d.Pos.Filename), line: d.Pos.Line}
-				ok := false
-				for i, re := range wants[key] {
-					if re.MatchString(d.Message) {
-						matched[fmt.Sprintf("%s:%d:%d", key.file, key.line, i)] = true
-						ok = true
-						break
-					}
+			matchWants(t, got, parseWants(t, l.Aux[name]))
+		})
+	}
+}
+
+// TestProgramFixtures runs each whole-program analyzer over its fixture
+// Program (target packages built into one call graph) and checks the
+// findings against the // want annotations across all involved packages.
+func TestProgramFixtures(t *testing.T) {
+	names := make([]string, 0, len(fixtureProgramPasses))
+	for name := range fixtureProgramPasses {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		cfg := fixtureProgramPasses[name]
+		t.Run(name, func(t *testing.T) {
+			l := fixtureLoader(t)
+			var pkgs []*Package
+			var dirs []string
+			for _, pn := range cfg.pkgs {
+				pkg, err := l.Load(pn)
+				if err != nil {
+					t.Fatal(err)
 				}
-				if !ok {
-					t.Errorf("unexpected diagnostic at %s:%d: %s", key.file, key.line, d.Message)
-				}
+				pkgs = append(pkgs, pkg)
+				dirs = append(dirs, l.Aux[pn])
 			}
-			for key, res := range wants {
-				for i, re := range res {
-					if !matched[fmt.Sprintf("%s:%d:%d", key.file, key.line, i)] {
-						t.Errorf("missing diagnostic at %s:%d matching %q", key.file, key.line, re)
-					}
-				}
-			}
+			got := cfg.analyzer.Run(BuildProgram(pkgs))
+			matchWants(t, got, parseWants(t, dirs...))
 		})
 	}
 }
@@ -206,29 +261,141 @@ func TestPackageDirs(t *testing.T) {
 	}
 }
 
-// TestRepoTreeClean locks the acceptance criterion in place: all four
-// passes report nothing on the repo's determinism-critical packages
-// (the same set the fedlint driver applies nondet to). The full-module
-// sweep runs in `make lint`; this guards the core from inside go test.
+// TestRepoTreeClean locks the acceptance criterion in place: the
+// per-package passes and the whole-program passes report nothing on the
+// module that is not recorded in .fedlint-baseline.json. It mirrors the
+// fedlint driver: every package (including external test packages like
+// the root bench_test.go) loads into one Program; nondet applies only to
+// the determinism-critical scope; program-mode hotalloc subsumes the
+// per-package flood.
 func TestRepoTreeClean(t *testing.T) {
 	if testing.Short() {
-		t.Skip("type-checks a large part of the module from source")
+		t.Skip("type-checks the whole module from source")
+	}
+	modPath, modDir, err := ModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	paths, err := PackageDirs(modPath, modDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLoader(modPath, modDir)
+	l.IncludeTests = true
+	var pkgs []*Package
+	for _, path := range paths {
+		pkg, err := l.Load(path)
+		if err != nil {
+			t.Fatalf("loading %s: %v", path, err)
+		}
+		pkgs = append(pkgs, pkg)
+		ext, err := l.LoadExternalTests(path)
+		if err != nil {
+			t.Fatalf("loading external tests of %s: %v", path, err)
+		}
+		if ext != nil {
+			pkgs = append(pkgs, ext)
+		}
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		for _, a := range All() {
+			if a.Name == "hotalloc" {
+				continue // the program flood below subsumes it
+			}
+			if a.Name == "nondet" && !NonDetScope(pkg.Path, modPath) {
+				continue
+			}
+			diags = append(diags, a.Run(pkg)...)
+		}
+	}
+	for _, a := range AllProgram() {
+		diags = append(diags, a.Run(BuildProgram(pkgs))...)
+	}
+	baseline, err := LoadBaseline(filepath.Join(modDir, ".fedlint-baseline.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, _ := baseline.Filter(diags, modDir)
+	for _, d := range fresh {
+		t.Errorf("non-baselined finding: %s: %s: %s:%d: %s", d.Check, RelFile(d.Pos.Filename, modDir), filepath.Base(d.Pos.Filename), d.Pos.Line, d.Message)
+	}
+}
+
+// TestLoadExternalTests checks the second-pass loader actually picks up
+// the root external test package (bench_test.go, package fedsched_test)
+// — before LoadExternalTests existed those files were never analyzed —
+// and returns nil for directories whose tests are in-package.
+func TestLoadExternalTests(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the root package and its imports from source")
 	}
 	modPath, modDir, err := ModuleRoot(".")
 	if err != nil {
 		t.Fatal(err)
 	}
 	l := NewLoader(modPath, modDir)
-	l.IncludeTests = true
-	for _, rel := range []string{"internal/tensor", "internal/nn", "internal/fl", "internal/sched", "internal/sim"} {
-		pkg, err := l.Load(modPath + "/" + rel)
-		if err != nil {
-			t.Fatalf("loading %s: %v", rel, err)
-		}
-		for _, a := range All() {
-			for _, d := range a.Run(pkg) {
-				t.Errorf("%s: %s", rel, d)
-			}
-		}
+	pkg, err := l.LoadExternalTests(modPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pkg == nil {
+		t.Fatalf("LoadExternalTests(%s) = nil; bench_test.go declares package fedsched_test", modPath)
+	}
+	if got := pkg.Types.Name(); got != "fedsched_test" {
+		t.Errorf("external test package name = %q, want fedsched_test", got)
+	}
+	if len(pkg.Files) == 0 {
+		t.Error("external test package has no files")
+	}
+	none, err := l.LoadExternalTests(modPath + "/internal/lint")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if none != nil {
+		t.Errorf("internal/lint has no external test package, got %v", none.Path)
+	}
+}
+
+// TestBaselineRoundTrip covers the accepted-findings ledger: marshalled
+// findings load back, match on check/file/message (not line), and a
+// missing file behaves as an empty baseline.
+func TestBaselineRoundTrip(t *testing.T) {
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "/mod/internal/fl/fl.go", Line: 30}, Check: "detflow", Message: "src reachable"},
+		{Pos: token.Position{Filename: "/mod/internal/fl/fl.go", Line: 30}, Check: "detflow", Message: "src reachable"}, // dup collapses
+		{Pos: token.Position{Filename: "/mod/cmd/x/main.go", Line: 9}, Check: "hotalloc", Message: "append grows"},
+	}
+	data, err := MarshalBaseline(diags, "/mod")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "baseline.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadBaseline(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b.Findings) != 2 {
+		t.Fatalf("baseline has %d findings, want 2 (dup collapsed)", len(b.Findings))
+	}
+	if !b.Has("detflow", "internal/fl/fl.go", "src reachable") {
+		t.Error("baseline misses a marshalled finding")
+	}
+	if b.Has("detflow", "internal/fl/fl.go", "different message") {
+		t.Error("baseline matched a different message")
+	}
+	fresh, accepted := b.Filter(diags, "/mod")
+	if len(fresh) != 0 || len(accepted) != 3 {
+		t.Errorf("Filter = %d fresh, %d accepted; want 0, 3", len(fresh), len(accepted))
+	}
+	empty, err := LoadBaseline(filepath.Join(t.TempDir(), "absent.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if empty.Has("detflow", "internal/fl/fl.go", "src reachable") {
+		t.Error("missing baseline file must behave as empty")
 	}
 }

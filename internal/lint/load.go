@@ -28,8 +28,9 @@ type Loader struct {
 	ModDir  string            // absolute directory of the module root
 	Aux     map[string]string // extra import path → directory overrides
 	// IncludeTests adds in-package _test.go files to loaded targets.
-	// External test packages (package foo_test) are always skipped:
-	// they cannot join the primary package's type-check.
+	// External test packages (package foo_test) cannot join the primary
+	// package's type-check; LoadExternalTests loads them as their own
+	// analysis unit in a second pass.
 	IncludeTests bool
 
 	std  types.ImporterFrom
@@ -65,10 +66,23 @@ func (l *Loader) dirFor(path string) string {
 	return ""
 }
 
-// parse reads every buildable .go file of the package in dir. Test files
-// are included only when withTests is set, and external test packages
-// are filtered out after parsing (their package name ends in "_test").
-func (l *Loader) parse(dir string, withTests bool) ([]*ast.File, error) {
+// parseMode selects which of a directory's buildable files form the
+// package under analysis.
+type parseMode int
+
+const (
+	parseNoTests       parseMode = iota // library files only
+	parseWithTests                      // library + in-package _test.go files
+	parseExternalTests                  // only the package foo_test files
+)
+
+// parse reads the buildable .go files of the package in dir selected by
+// mode. For the primary modes, external test files (their parsed package
+// name ends in "_test") are filtered out after parsing: they belong to a
+// separate package that cannot join the primary type-check. In
+// parseExternalTests mode the selection inverts and an empty result is
+// not an error — most directories have no external test package.
+func (l *Loader) parse(dir string, mode parseMode) ([]*ast.File, error) {
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		return nil, err
@@ -80,7 +94,10 @@ func (l *Loader) parse(dir string, withTests bool) ([]*ast.File, error) {
 			strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
 			continue
 		}
-		if !withTests && strings.HasSuffix(name, "_test.go") {
+		if mode == parseNoTests && strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if mode == parseExternalTests && !strings.HasSuffix(name, "_test.go") {
 			continue
 		}
 		names = append(names, name)
@@ -100,12 +117,13 @@ func (l *Loader) parse(dir string, withTests bool) ([]*ast.File, error) {
 		if err != nil {
 			return nil, err
 		}
-		if strings.HasSuffix(f.Name.Name, "_test") {
+		external := strings.HasSuffix(f.Name.Name, "_test")
+		if external != (mode == parseExternalTests) {
 			continue
 		}
 		files = append(files, f)
 	}
-	if len(files) == 0 {
+	if len(files) == 0 && mode != parseExternalTests {
 		return nil, fmt.Errorf("lint: no Go files in %s", dir)
 	}
 	return files, nil
@@ -212,7 +230,11 @@ func (l *Loader) Load(path string) (*Package, error) {
 	if dir == "" {
 		return nil, fmt.Errorf("lint: %s is not a module-local package", path)
 	}
-	files, err := l.parse(dir, l.IncludeTests)
+	mode := parseNoTests
+	if l.IncludeTests {
+		mode = parseWithTests
+	}
+	files, err := l.parse(dir, mode)
 	if err != nil {
 		return nil, err
 	}
@@ -221,6 +243,29 @@ func (l *Loader) Load(path string) (*Package, error) {
 		return nil, err
 	}
 	return &Package{Path: path, Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// LoadExternalTests loads the external test package (package foo_test)
+// of the directory at path, or nil when the directory has none. External
+// test files — the root bench_test.go is the repo's one example — form a
+// package of their own that imports the library under test, so they are
+// type-checked as a separate analysis unit whose Path carries a "_test"
+// suffix. Before this second pass existed they were skipped entirely,
+// leaving hotpath-annotated benchmark helpers unanalyzed.
+func (l *Loader) LoadExternalTests(path string) (*Package, error) {
+	dir := l.dirFor(path)
+	if dir == "" {
+		return nil, fmt.Errorf("lint: %s is not a module-local package", path)
+	}
+	files, err := l.parse(dir, parseExternalTests)
+	if err != nil || len(files) == 0 {
+		return nil, err
+	}
+	tpkg, info, err := l.check(path+"_test", files)
+	if err != nil {
+		return nil, err
+	}
+	return &Package{Path: path + "_test", Fset: l.Fset, Files: files, Types: tpkg, Info: info}, nil
 }
 
 // importDep resolves an import encountered while type-checking. Module
@@ -238,7 +283,7 @@ func (l *Loader) importDep(path string) (*types.Package, error) {
 		}
 		return p, err
 	}
-	files, err := l.parse(dir, false)
+	files, err := l.parse(dir, parseNoTests)
 	if err != nil {
 		return nil, err
 	}

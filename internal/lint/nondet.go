@@ -68,47 +68,70 @@ func runNonDet(p *Package) []Diagnostic {
 }
 
 func (p *Package) checkNonDetCall(r *reporter, call *ast.CallExpr, inBenchmark bool) {
+	switch kind, _ := p.nonDetCallSource(call, inBenchmark); kind {
+	case "rand":
+		sel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		pn := p.pkgNameOf(sel.X.(*ast.Ident))
+		r.reportf(call.Pos(), "call to global %s.%s draws from the shared process-wide source; thread a seeded *rand.Rand (from Config.Seed) instead",
+			pn.Imported().Name(), sel.Sel.Name)
+	case "time":
+		r.reportf(call.Pos(), "time.Now in a determinism-critical package; simulated time must come from the device/network models, wall clocks only belong in benchmarks")
+	}
+}
+
+// nonDetCallSource classifies a call as an ambient-nondeterminism source
+// — shared by the per-package nondet pass and the interprocedural
+// detflow taint walk. kind is "rand" or "time" ("" when the call is
+// clean); what is a short human description of the source.
+func (p *Package) nonDetCallSource(call *ast.CallExpr, inBenchmark bool) (kind, what string) {
 	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
 	if !ok {
-		return
+		return "", ""
 	}
 	id, ok := sel.X.(*ast.Ident)
 	if !ok {
-		return
+		return "", ""
 	}
 	pn := p.pkgNameOf(id)
 	if pn == nil {
-		return
+		return "", ""
 	}
 	switch pn.Imported().Path() {
 	case "math/rand", "math/rand/v2":
 		if globalRandFuncs[sel.Sel.Name] {
-			r.reportf(call.Pos(), "call to global %s.%s draws from the shared process-wide source; thread a seeded *rand.Rand (from Config.Seed) instead",
-				pn.Imported().Name(), sel.Sel.Name)
+			return "rand", "global " + pn.Imported().Name() + "." + sel.Sel.Name
 		}
 	case "time":
 		if sel.Sel.Name == "Now" && !inBenchmark {
-			r.reportf(call.Pos(), "time.Now in a determinism-critical package; simulated time must come from the device/network models, wall clocks only belong in benchmarks")
+			return "time", "time.Now"
 		}
 	}
+	return "", ""
 }
 
 // checkMapRange flags order-sensitive folds over map iteration.
 func (p *Package) checkMapRange(r *reporter, rng *ast.RangeStmt) {
-	t := p.Info.TypeOf(rng.X)
-	if t == nil {
-		return
-	}
-	if _, ok := t.Underlying().(*types.Map); !ok {
-		return
-	}
-	if p.isKeyCollection(rng) {
-		return
-	}
-	if what := p.orderSensitive(rng); what != "" {
+	if what := p.mapRangeSource(rng); what != "" {
 		r.reportf(rng.Pos(), "range over map %s has an order-sensitive body (%s); collect and sort the keys, then iterate the sorted slice",
 			exprString(rng.X), what)
 	}
+}
+
+// mapRangeSource reports a non-empty description when rng is a range
+// over a map whose body is order-sensitive and not the audited
+// key-collection idiom — shared by nondet and detflow.
+func (p *Package) mapRangeSource(rng *ast.RangeStmt) string {
+	t := p.Info.TypeOf(rng.X)
+	if t == nil {
+		return ""
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return ""
+	}
+	if p.isKeyCollection(rng) {
+		return ""
+	}
+	return p.orderSensitive(rng)
 }
 
 // isKeyCollection recognizes the first half of the sorted-keys idiom: a

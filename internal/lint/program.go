@@ -1,0 +1,352 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Program is the whole-module view the interprocedural passes (detflow,
+// goroutinebound, floatorder, tracecomplete, and the program extension
+// of hotalloc) operate on: every loaded package plus a static call graph
+// connecting their function declarations across package boundaries.
+//
+// Cross-package function identity is by key, not by *types.Func: a
+// package type-checked as an analysis target (with its test files) and
+// the same package type-checked as a dependency of another target are
+// distinct *types.Package instances, so the graph is joined on the
+// stable string key "path|receiver|name" instead (funcKey). Generic
+// instantiations are folded to their origin declaration, matching the
+// per-package calleeFunc behaviour.
+//
+// Calls through interface values and function values are not followed —
+// the same static-only contract the per-package hotalloc pass documents.
+// Concrete implementations therefore carry their own root annotations.
+type Program struct {
+	Fset     *token.FileSet
+	Packages []*Package
+	Funcs    map[string]*ProgFunc
+
+	keys []string // sorted Funcs keys, the deterministic iteration order
+}
+
+// ProgFunc is one function declaration in the program graph.
+type ProgFunc struct {
+	Key   string
+	Pkg   *Package
+	Decl  *ast.FuncDecl
+	Fn    *types.Func
+	Calls []CallSite // static call sites in source order
+}
+
+// CallSite is one statically resolved call edge.
+type CallSite struct {
+	Callee string // funcKey of the callee
+	Pos    token.Pos
+}
+
+// String renders a function for diagnostics: pkgname.Func or
+// pkgname.Recv.Method.
+func (pf *ProgFunc) String() string {
+	name := pf.Decl.Name.Name
+	if r := recvTypeName(pf.Fn); r != "" {
+		name = r + "." + name
+	}
+	return pf.Pkg.Types.Name() + "." + name
+}
+
+// ProgramAnalyzer is one named whole-program pass.
+type ProgramAnalyzer struct {
+	Name string
+	Doc  string
+	Run  func(pr *Program) []Diagnostic
+}
+
+// AllProgram returns the interprocedural analyzers in canonical order.
+// HotAllocProg shares the per-package pass's name and suppression
+// directive: in whole-program mode it subsumes the intra-package flood.
+func AllProgram() []*ProgramAnalyzer {
+	return []*ProgramAnalyzer{DetFlow, GoroutineBound, FloatOrder, TraceComplete, HotAllocProg}
+}
+
+// ProgramByName returns the program analyzer with the given name, or nil.
+func ProgramByName(name string) *ProgramAnalyzer {
+	for _, a := range AllProgram() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}
+
+// BuildProgram indexes packages (which must share one FileSet — load
+// them through a single Loader) into a call graph. When the same
+// function key appears twice (a package loaded both as a target and as
+// another target's dependency), the first occurrence wins, so pass
+// target packages in preference order.
+func BuildProgram(pkgs []*Package) *Program {
+	pr := &Program{Funcs: make(map[string]*ProgFunc)}
+	if len(pkgs) > 0 {
+		pr.Fset = pkgs[0].Fset
+	}
+	for _, p := range pkgs {
+		pr.Packages = append(pr.Packages, p)
+		for _, f := range p.Files {
+			for _, d := range f.Decls {
+				fd, ok := d.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := p.Info.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				key := funcKey(fn)
+				if _, dup := pr.Funcs[key]; dup {
+					continue
+				}
+				pf := &ProgFunc{Key: key, Pkg: p, Decl: fd, Fn: fn}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
+					}
+					if callee := p.calleeFunc(call); callee != nil {
+						pf.Calls = append(pf.Calls, CallSite{Callee: funcKey(callee), Pos: call.Pos()})
+					}
+					return true
+				})
+				pr.Funcs[key] = pf
+			}
+		}
+	}
+	pr.keys = make([]string, 0, len(pr.Funcs))
+	for k := range pr.Funcs {
+		pr.keys = append(pr.keys, k)
+	}
+	sort.Strings(pr.keys)
+	return pr
+}
+
+// funcKey is the cross-package identity of a function: package path,
+// receiver type name (generic origin, pointer-stripped) and name, joined
+// with "|" (never legal in Go identifiers or import paths in this tree).
+func funcKey(fn *types.Func) string {
+	fn = fn.Origin()
+	pkg := ""
+	if fn.Pkg() != nil {
+		pkg = fn.Pkg().Path()
+	}
+	return pkg + "|" + recvTypeName(fn) + "|" + fn.Name()
+}
+
+// recvTypeName returns the bare receiver type name of a method ("" for
+// plain functions): *TensorOf[T] and TensorOf[float32] both map to
+// "TensorOf".
+func recvTypeName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// Root annotations of the interprocedural passes. Like fedlint:hotpath
+// they are matched against the raw doc-comment lines, so both the spaced
+// and the directive comment forms work.
+const (
+	detMarker       = "fedlint:deterministic" // root: all reachable code must be bit-reproducible
+	detSafeMarker   = "fedlint:detsafe"       // sanitizer: audited boundary, taint does not cross
+	detReduceMarker = "fedlint:detreduce"     // audited deterministic float reduction helper
+	traceMarker     = "fedlint:trace"         // required trace kinds, e.g. fedlint:trace KindSchedule,KindSolver
+)
+
+// declMarker reports whether a function's doc comment carries the given
+// fedlint marker on any line.
+func declMarker(fd *ast.FuncDecl, marker string) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.Contains(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+// traceMarkerRe captures the comma-separated kind list of a
+// fedlint:trace annotation. The Kind prefix is required of every name,
+// so prose that merely mentions the directive does not parse as an
+// annotation.
+var traceMarkerRe = regexp.MustCompile(`fedlint:trace\s+(Kind\w+(?:\s*,\s*Kind\w+)*)`)
+
+// traceKindsAnnotation parses a fedlint:trace annotation off a doc
+// comment, returning the required kind names and whether the annotation
+// is present.
+func traceKindsAnnotation(fd *ast.FuncDecl) ([]string, bool) {
+	if fd.Doc == nil {
+		return nil, false
+	}
+	for _, c := range fd.Doc.List {
+		m := traceMarkerRe.FindStringSubmatch(c.Text)
+		if m == nil {
+			continue
+		}
+		var kinds []string
+		for _, k := range strings.Split(m[1], ",") {
+			if k = strings.TrimSpace(k); k != "" {
+				kinds = append(kinds, k)
+			}
+		}
+		return kinds, true
+	}
+	return nil, false
+}
+
+// rootsWith returns the keys of every function carrying any of the
+// given markers, in deterministic (sorted-key) order.
+func (pr *Program) rootsWith(markers ...string) []string {
+	var roots []string
+	for _, key := range pr.keys {
+		pf := pr.Funcs[key]
+		for _, m := range markers {
+			if declMarker(pf.Decl, m) {
+				roots = append(roots, key)
+				break
+			}
+		}
+	}
+	return roots
+}
+
+// reachNode records how the flood first reached a function, so
+// diagnostics can print the call path back to the responsible root.
+type reachNode struct {
+	key    string
+	parent *reachNode
+}
+
+// pathFrom renders the call chain "root → … → here" using display names.
+func (pr *Program) pathFrom(n *reachNode) string {
+	var names []string
+	for ; n != nil; n = n.parent {
+		names = append(names, pr.Funcs[n.key].String())
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	return strings.Join(names, " → ")
+}
+
+// flood BFS-walks the static call graph from the given roots (processed
+// in order; the first root to reach a function claims it). Call sites
+// suppressed for check via //fedlint:allow do not propagate, and callees
+// for which cut returns true are not entered — that is how detsafe /
+// detreduce sanitizers terminate a taint walk.
+func (pr *Program) flood(roots []string, check string, cut func(pf *ProgFunc) bool) map[string]*reachNode {
+	reached := make(map[string]*reachNode)
+	var queue []*reachNode
+	for _, root := range roots {
+		if _, ok := pr.Funcs[root]; !ok {
+			continue
+		}
+		if _, seen := reached[root]; seen {
+			continue
+		}
+		n := &reachNode{key: root}
+		reached[root] = n
+		queue = append(queue, n)
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		pf := pr.Funcs[n.key]
+		for _, cs := range pf.Calls {
+			callee, ok := pr.Funcs[cs.Callee]
+			if !ok {
+				continue // stdlib, interface method, or unloaded package
+			}
+			if _, seen := reached[cs.Callee]; seen {
+				continue
+			}
+			if cut != nil && cut(callee) {
+				continue
+			}
+			if pf.Pkg.suppressed(check, pr.Fset.Position(cs.Pos)) {
+				continue
+			}
+			c := &reachNode{key: cs.Callee, parent: n}
+			reached[cs.Callee] = c
+			queue = append(queue, c)
+		}
+	}
+	return reached
+}
+
+// sortedReach returns the reached keys in deterministic order.
+func sortedReach(reached map[string]*reachNode) []string {
+	keys := make([]string, 0, len(reached))
+	for k := range reached {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// progReporter accumulates diagnostics for a whole-program pass,
+// applying the owning package's suppression table at each position.
+type progReporter struct {
+	pr    *Program
+	check string
+	diags []Diagnostic
+	seen  map[token.Pos]bool
+}
+
+// reportf reports at pos unless an //fedlint:allow directive in p covers
+// it; each position reports at most once (several roots may reach the
+// same source — the first, in deterministic root order, wins).
+func (r *progReporter) reportf(p *Package, pos token.Pos, format string, args ...any) {
+	if r.seen == nil {
+		r.seen = make(map[token.Pos]bool)
+	}
+	if r.seen[pos] {
+		return
+	}
+	position := r.pr.Fset.Position(pos)
+	if p.suppressed(r.check, position) {
+		return
+	}
+	r.seen[pos] = true
+	r.diags = append(r.diags, Diagnostic{Pos: position, Check: r.check, Message: fmt.Sprintf(format, args...)})
+}
+
+func (r *progReporter) done() []Diagnostic {
+	sortDiagnostics(r.diags)
+	return r.diags
+}
+
+// sortDiagnostics orders findings by file, line, column.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Pos, diags[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+}

@@ -1,0 +1,14 @@
+// Package detflowdep is the cross-package half of the detflow fixture:
+// the source below is only reachable through detflow.Engine's import
+// edge, proving the taint walk crosses package boundaries.
+package detflowdep
+
+// Dep folds floats in map iteration order.
+func Dep() float64 {
+	m := map[int]float64{1: 1, 2: 2}
+	var sum float64
+	for _, v := range m { // want `order-sensitive map iteration \(accumulation into sum\) is reachable from deterministic root detflow\.Engine \(path: detflow\.Engine → detflowdep\.Dep\)`
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,68 @@
+// Package goroutinebound seeds the bounded-spawn fixture: go statements
+// reachable from hotpath/deterministic roots must sit under an acquire
+// on the lane semaphore (tensor stub) or a channel-semaphore receive.
+package goroutinebound
+
+import "tensor"
+
+// Run is the hot root reaching all three spawn shapes.
+//
+// fedlint:hotpath
+func Run(n int) {
+	bounded(n)
+	unbounded(n)
+	semaphore(n)
+}
+
+// bounded spawns only lanes the semaphore granted — the audited idiom.
+func bounded(n int) {
+	extra := tensor.TryAcquireLanes(n)
+	done := make(chan struct{}, extra)
+	for i := 0; i < extra; i++ {
+		go func() { done <- struct{}{} }()
+	}
+	for i := 0; i < extra; i++ {
+		<-done
+	}
+	tensor.ReleaseLanes(extra)
+}
+
+// unbounded fans out one goroutine per item with no budget at all.
+func unbounded(n int) {
+	done := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		go func() { done <- struct{}{} }() // want `go statement is not dominated by a bounded-pool acquire`
+	}
+	for i := 0; i < n; i++ {
+		<-done
+	}
+}
+
+// semaphore gates each spawn on a token receive — also audited.
+func semaphore(n int) {
+	sem := make(chan struct{}, 2)
+	sem <- struct{}{}
+	sem <- struct{}{}
+	for i := 0; i < n; i++ {
+		<-sem
+		go func() { sem <- struct{}{} }()
+	}
+}
+
+// Drain is a deterministic root; the naked spawn it reaches is reported
+// with its path.
+//
+// fedlint:deterministic
+func Drain() {
+	naked()
+}
+
+// naked spawns with no acquire anywhere in the declaration.
+func naked() {
+	go func() {}() // want `go statement is not dominated by a bounded-pool acquire`
+}
+
+// Stray spawns unboundedly but is unreachable from any root.
+func Stray() {
+	go func() {}()
+}

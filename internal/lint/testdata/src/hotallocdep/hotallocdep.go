@@ -1,0 +1,20 @@
+// Package tensor (import path hotallocdep) is the cross-package half of
+// the hotallocx fixture: Fill scratch-allocates per call, which only the
+// whole-program flood can tie back to hotallocx.Step.
+package tensor
+
+// Panel is a minimal float buffer.
+type Panel struct{ data []float64 }
+
+// NewPanel allocates fresh storage — flagged at hot call sites.
+func NewPanel(n int) *Panel { return &Panel{data: make([]float64, n)} }
+
+// Fill scratch-allocates a buffer on every call.
+func Fill(p *Panel) {
+	buf := make([]float64, len(p.data)) // want `make of \[\]float64 in hot-path function Fill \(hot via hotallocx\.Step\)`
+	copy(p.data, buf)
+	_ = buf
+}
+
+// Len reports the buffer length.
+func (p *Panel) Len() int { return len(p.data) }

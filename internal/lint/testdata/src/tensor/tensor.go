@@ -38,6 +38,31 @@ func (t *Tensor) Len() int { return len(t.data) }
 // Float mirrors the real element-type constraint of the generic kernels.
 type Float interface{ ~float32 | ~float64 }
 
+// extraLanes mirrors the real lane semaphore so the goroutinebound
+// fixtures can exercise the audited acquire idiom.
+var extraLanes = make(chan struct{}, 4)
+
+// TryAcquireLanes takes up to n worker lanes, returning how many were
+// granted.
+func TryAcquireLanes(n int) int {
+	got := 0
+	for ; got < n; got++ {
+		select {
+		case <-extraLanes:
+		default:
+			return got
+		}
+	}
+	return got
+}
+
+// ReleaseLanes returns n lanes to the pool.
+func ReleaseLanes(n int) {
+	for i := 0; i < n; i++ {
+		extraLanes <- struct{}{}
+	}
+}
+
 // TensorOf mirrors the width-parametric dense tensor.
 type TensorOf[T Float] struct {
 	data []T

@@ -1,0 +1,35 @@
+// Package trace is a minimal stub of fedsched/internal/trace, mapped to
+// the bare import path "trace" through Loader.Aux so the tracecomplete
+// fixtures can exercise Kind-constant reachability without pulling the
+// real recorder into the fixture load. The tracecomplete pass recognizes
+// Kind constants structurally (a named type Kind in a package named
+// trace), so this stub's constants count exactly like the real ones.
+package trace
+
+// Kind discriminates trace event types.
+type Kind uint8
+
+// Event kinds, mirroring the real pipeline order.
+const (
+	KindSchedule Kind = iota
+	KindSolver
+	KindClientRound
+	KindRoundSummary
+	KindMerge
+)
+
+// Event is a flat record, as in the real package.
+type Event struct {
+	Kind Kind
+	AtS  float64
+}
+
+// Recorder is a minimal sink.
+type Recorder struct {
+	events []Event
+}
+
+// Emit appends one event.
+func (r *Recorder) Emit(ev Event) {
+	r.events = append(r.events, ev)
+}

@@ -1,0 +1,67 @@
+// Package tracecomplete seeds the trace-coverage fixture against the
+// trace stub: fedlint:trace annotations that are met through call
+// chains, one that is not, one naming an unknown kind, and a Scheduler
+// implementation that never records its assignment.
+package tracecomplete
+
+import "trace"
+
+// Scheduler mirrors the real scheduling interface shape.
+type Scheduler interface {
+	Name() string
+	Schedule(rec *trace.Recorder)
+}
+
+// Good emits its assignment through the shared helper.
+type Good struct{}
+
+// Name identifies the scheduler.
+func (Good) Name() string { return "good" }
+
+// Schedule records the assignment via emitSchedule, two hops away from
+// the Kind constant.
+func (Good) Schedule(rec *trace.Recorder) {
+	emitSchedule(rec)
+}
+
+// emitSchedule is the shared emission helper.
+func emitSchedule(rec *trace.Recorder) {
+	rec.Emit(trace.Event{Kind: trace.KindSchedule})
+}
+
+// Bad computes an assignment but never records it.
+type Bad struct{}
+
+// Name identifies the scheduler.
+func (Bad) Name() string { return "bad" }
+
+// Schedule emits nothing.
+func (Bad) Schedule(rec *trace.Recorder) { // want `Bad implements Scheduler but no static call path of Schedule emits trace\.KindSchedule`
+	_ = rec
+}
+
+// Run is an engine entry point that only half-meets its annotation.
+//
+// fedlint:trace KindClientRound,KindRoundSummary
+func Run(rec *trace.Recorder) { // want `no static call path emits trace\.KindRoundSummary`
+	rec.Emit(trace.Event{Kind: trace.KindClientRound})
+}
+
+// Typo names a kind the trace package does not declare.
+//
+// fedlint:trace KindOops
+func Typo(rec *trace.Recorder) { // want `names KindOops, which is not a trace\.Kind constant`
+	_ = rec
+}
+
+// Solver meets its annotation through two hops.
+//
+// fedlint:trace KindSolver
+func Solver(rec *trace.Recorder) {
+	probe(rec)
+}
+
+// probe emits the solver event.
+func probe(rec *trace.Recorder) {
+	rec.Emit(trace.Event{Kind: trace.KindSolver})
+}

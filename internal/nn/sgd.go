@@ -37,6 +37,7 @@ func (s *SGDOf[T]) Step(params []*ParamOf[T]) {
 		if s.Momentum > 0 {
 			v, ok := s.velocity[p]
 			if !ok {
+				//fedlint:allow hotalloc — velocity allocates once on first use per parameter; steady-state steps hit the map
 				v = tensor.NewOf[T](p.W.Shape()...)
 				s.velocity[p] = v
 			}

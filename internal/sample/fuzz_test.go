@@ -1,0 +1,93 @@
+package sample
+
+import "testing"
+
+// checkCohort asserts the Sampler contract on one drawn cohort: indices
+// strictly ascending (sorted and deduplicated), in [0, population), and
+// no larger than the cohort size.
+func checkCohort(t *testing.T, name string, got []int, population, k int) {
+	t.Helper()
+	if len(got) > k {
+		t.Fatalf("%s: cohort of %d exceeds K=%d", name, len(got), k)
+	}
+	for i, id := range got {
+		if id < 0 || id >= population {
+			t.Fatalf("%s: index %d out of [0, %d)", name, id, population)
+		}
+		if i > 0 && got[i-1] >= id {
+			t.Fatalf("%s: cohort not strictly ascending at %d: %v", name, i, got)
+		}
+	}
+}
+
+// FuzzCohort drives both built-in samplers with arbitrary population,
+// cohort size, seed and round, checking sortedness, bounds, the
+// eligibility invariant (Availability), and determinism: a fresh sampler
+// with the same parameters — and the same sampler re-asked for the same
+// round — must reproduce the cohort exactly.
+func FuzzCohort(f *testing.F) {
+	f.Add(int64(1), 100, 10, 0)
+	f.Add(int64(7), 1, 1, 3)
+	f.Add(int64(42), 2000, 300, 17) // rejection sampling with scarce eligibility
+	f.Add(int64(-5), 50, 50, 240)   // whole-population identity cohort
+	f.Fuzz(func(t *testing.T, seed int64, population, cohort, round int) {
+		n := 1 + absInt(population)%2048
+		k := absInt(cohort) % 301
+		r := absInt(round) % 10000
+
+		u := NewUniform(n, k, seed)
+		got := u.Cohort(r, nil)
+		checkCohort(t, "uniform", got, n, u.CohortSize())
+		if k >= n && len(got) != n {
+			t.Fatalf("uniform: K>=N must select everyone, got %d of %d", len(got), n)
+		}
+		if k < n && len(got) != k {
+			t.Fatalf("uniform: selected %d clients, want exactly %d", len(got), k)
+		}
+		again := NewUniform(n, k, seed).Cohort(r, nil)
+		if !equalInts(got, again) {
+			t.Fatalf("uniform: fresh sampler diverged: %v vs %v", got, again)
+		}
+		// Stateless across rounds: drawing another round then re-asking
+		// for r must not change the answer.
+		u.Cohort(r+1, nil)
+		if redraw := u.Cohort(r, make([]int, 0, k)); !equalInts(got, redraw) {
+			t.Fatalf("uniform: redraw of round %d diverged: %v vs %v", r, got, redraw)
+		}
+
+		a := NewAvailability(n, k, seed)
+		got = a.Cohort(r, nil)
+		checkCohort(t, "availability", got, n, a.CohortSize())
+		for _, id := range got {
+			if !a.Eligible(id, r) {
+				t.Fatalf("availability: selected client %d is not eligible in round %d", id, r)
+			}
+		}
+		again = NewAvailability(n, k, seed).Cohort(r, nil)
+		if !equalInts(got, again) {
+			t.Fatalf("availability: fresh sampler diverged: %v vs %v", got, again)
+		}
+	})
+}
+
+func absInt(v int) int {
+	if v < 0 {
+		v = -v
+	}
+	if v < 0 { // math.MinInt negates to itself
+		return 0
+	}
+	return v
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

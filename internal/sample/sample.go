@@ -117,6 +117,7 @@ func (u *Uniform) CohortSize() int { return u.K }
 // scratch set is reused and dst is pre-sized by the caller).
 //
 // fedlint:hotpath
+// fedlint:deterministic
 func (u *Uniform) Cohort(round int, dst []int) []int {
 	k := u.K
 	if k >= u.N {
@@ -228,6 +229,7 @@ func (a *Availability) Eligible(id, round int) bool {
 // allocation-free.
 //
 // fedlint:hotpath
+// fedlint:deterministic
 func (a *Availability) Cohort(round int, dst []int) []int {
 	k := a.K
 	if k > a.N {

@@ -22,6 +22,9 @@ func (FedLBAP) Name() string { return "Fed-LBAP" }
 
 // Schedule implements Scheduler. It runs in O(ns + n log s log(ns)) time
 // and is deterministic (rng is unused).
+//
+// fedlint:deterministic
+// fedlint:trace KindSchedule,KindSolver
 func (FedLBAP) Schedule(req *Request, _ *rand.Rand) (*Assignment, error) {
 	if err := req.check(); err != nil {
 		return nil, err

@@ -56,6 +56,8 @@ func (SparseFedLBAP) Name() string { return "Fed-LBAP-sparse" }
 // cohort-sized requests, so in steady state this stays O(selected).
 //
 // fedlint:hotpath
+// fedlint:deterministic
+// fedlint:trace KindSchedule,KindSolver
 func (SparseFedLBAP) Schedule(req *Request, _ *rand.Rand) (*Assignment, error) {
 	if err := req.check(); err != nil {
 		return nil, err

@@ -95,6 +95,9 @@ func (e *Engine) After(delay float64, fn func()) {
 }
 
 // Step runs the next event. It returns false when the queue is empty.
+//
+// fedlint:deterministic
+// fedlint:trace KindSimStep
 func (e *Engine) Step() bool {
 	if len(e.queue) == 0 {
 		return false

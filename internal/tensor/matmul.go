@@ -9,6 +9,8 @@ package tensor
 
 // MatMul computes C = A·B for 2-D tensors A (m×k) and B (k×n) and returns
 // a new m×n tensor. It panics on shape mismatch.
+//
+// fedlint:deterministic
 func MatMul[T Float](a, b *TensorOf[T]) *TensorOf[T] {
 	m, k := a.Dim(0), a.Dim(1)
 	if b.Dim(0) != k {
@@ -23,6 +25,7 @@ func MatMul[T Float](a, b *TensorOf[T]) *TensorOf[T] {
 // MatMulInto computes dst = A·B, overwriting dst. dst must be m×n.
 //
 // fedlint:hotpath
+// fedlint:deterministic
 func MatMulInto[T Float](dst, a, b *TensorOf[T]) {
 	gemm(dst, a, b, false, false, epi[T]{})
 }
@@ -42,6 +45,7 @@ func MatMulTransA[T Float](a, b *TensorOf[T]) *TensorOf[T] {
 // MatMulTransAInto computes dst = Aᵀ·B, overwriting dst. dst must be m×n.
 //
 // fedlint:hotpath
+// fedlint:deterministic
 func MatMulTransAInto[T Float](dst, a, b *TensorOf[T]) {
 	gemm(dst, a, b, true, false, epi[T]{})
 }
@@ -58,6 +62,7 @@ func MatMulTransB[T Float](a, b *TensorOf[T]) *TensorOf[T] {
 // MatMulTransBInto computes dst = A·Bᵀ, overwriting dst. dst must be m×n.
 //
 // fedlint:hotpath
+// fedlint:deterministic
 func MatMulTransBInto[T Float](dst, a, b *TensorOf[T]) {
 	gemm(dst, a, b, false, true, epi[T]{})
 }
@@ -68,6 +73,7 @@ func MatMulTransBInto[T Float](dst, a, b *TensorOf[T]) {
 // over dst.
 //
 // fedlint:hotpath
+// fedlint:deterministic
 func MatMulTransBBiasInto[T Float](dst, a, b, bias *TensorOf[T]) {
 	gemm(dst, a, b, false, true, epi[T]{bias: bias.data})
 }
@@ -77,6 +83,7 @@ func MatMulTransBBiasInto[T Float](dst, a, b, bias *TensorOf[T]) {
 // dense+bias+ReLU forward. mask must have at least m·n entries.
 //
 // fedlint:hotpath
+// fedlint:deterministic
 func MatMulTransBBiasReLUInto[T Float](dst, a, b, bias *TensorOf[T], mask []bool) {
 	gemm(dst, a, b, false, true, epi[T]{bias: bias.data, relu: true, mask: mask})
 }

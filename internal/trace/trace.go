@@ -176,6 +176,7 @@ func (r *Recorder) Emit(e Event) {
 // per-client rings deterministically.
 //
 // fedlint:hotpath
+// fedlint:deterministic
 func (r *Recorder) Drain(src *Recorder) {
 	if src == nil {
 		return
@@ -192,6 +193,7 @@ func (r *Recorder) Drain(src *Recorder) {
 // round and labels the events here.
 //
 // fedlint:hotpath
+// fedlint:deterministic
 func (r *Recorder) DrainRound(src *Recorder, round int) {
 	if src == nil {
 		return
