@@ -15,7 +15,7 @@ BENCH_MAX_SLOWDOWN ?= 1.15
 	check check-nolint race race-tensor trace-golden \
 	bench bench-parallel bench-gemm bench-gemm-f32 bench-sched bench-ci \
 	bench-regression \
-	population-smoke
+	population-smoke fault-smoke
 
 build:
 	$(GO) build ./...
@@ -45,13 +45,15 @@ lint-baseline:
 	$(GO) run ./cmd/fedlint -write-baseline ./...
 
 # Short native-fuzz pass over the property-based targets: the sparse
-# Fed-LBAP solver against the dense oracle, and the cohort samplers'
-# sortedness/bounds/determinism contract. Seeds live under testdata/fuzz;
-# CI runs this in the lint lane.
+# Fed-LBAP solver against the dense oracle, the cohort samplers'
+# sortedness/bounds/determinism contract, and the fault plan's
+# spec-parse/draw invariants. Seeds live under testdata/fuzz; CI runs
+# this in the lint lane.
 FUZZTIME ?= 10s
 fuzz-smoke:
 	$(GO) test ./internal/sched -run '^$$' -fuzz FuzzSparseFedLBAP -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/sample -run '^$$' -fuzz FuzzCohort -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzFaultPlan -fuzztime $(FUZZTIME)
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -131,3 +133,17 @@ population-smoke:
 	mkdir -p artifacts
 	$(GO) run ./cmd/fedsim -population 100000 -cohort 64 -pop-rounds 1 \
 		-seed 42 -trace artifacts/population-smoke.jsonl
+
+# The same 100K-client fleet under an aggressive fixed-seed fault plan:
+# over-selection absorbs the crashes, the quorum closes the round, the
+# cooldown benches repeat offenders, and -min-participants keeps a
+# decimated round from aborting the run. Deterministic end to end; CI
+# runs it in the check job and uploads the trace (KindFault events,
+# faulted/late flags) as an artifact.
+fault-smoke:
+	mkdir -p artifacts
+	$(GO) run ./cmd/fedsim -population 100000 -cohort 64 -pop-rounds 2 \
+		-seed 42 -fault-seed 7 \
+		-faults 'crash=0.2,battery=0.05,flap=0.1,corrupt=0.05,degrade=0.3,slow=4' \
+		-overselect 0.5 -min-participants 32 -cooldown 2 \
+		-trace artifacts/fault-smoke.jsonl

@@ -19,10 +19,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
 	"fedsched/internal/device"
 	"fedsched/internal/experiments"
+	"fedsched/internal/fault"
 	"fedsched/internal/fl"
 	"fedsched/internal/nn"
 	"fedsched/internal/sample"
@@ -50,6 +52,13 @@ func main() {
 		samplerName = flag.String("sampler", "uniform", "population mode: cohort sampler, 'uniform' or 'window' (availability windows)")
 		windowHours = flag.Float64("window-hours", 6, "population mode: availability window length for -sampler window")
 		battery     = flag.Float64("battery-budget", 0, "population mode: per-round battery budget fraction capping each client's shards (0 = uncapped)")
+
+		faults     = flag.String("faults", "", "fault scenario, e.g. 'crash=0.1,battery=0.02,flap=0.05,corrupt=0.01,degrade=0.2,slow=4' (empty = no faults)")
+		faultSeed  = flag.Int64("fault-seed", 0, "seed for the fault plan (0 = derive from -seed)")
+		overselect = flag.Float64("overselect", 0, "population mode: over-selection margin — grow the cohort to ceil(cohort*(1+margin)) and set the quorum to the original size")
+		quorum     = flag.Int("quorum", 0, "population mode: close each round after this many surviving clients (0 = wait for all; implied by -overselect)")
+		minPart    = flag.Int("min-participants", 0, "population mode: mark rounds with fewer surviving participants as failed (0 = off)")
+		cooldown   = flag.Int("cooldown", 0, "population mode: skip failed clients for this many rounds, doubling per repeat failure (0 = off)")
 	)
 	flag.Parse()
 	if *population > 0 {
@@ -61,6 +70,8 @@ func main() {
 			n: *population, cohort: *cohort, rounds: *popRounds, shards: *popShards,
 			sampler: *samplerName, windowHours: *windowHours, battery: *battery,
 			seed: *seed, workers: *workers, rec: rec,
+			faults: *faults, faultSeed: *faultSeed, overselect: *overselect,
+			quorum: *quorum, minParticipants: *minPart, cooldown: *cooldown,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "population: %v\n", err)
@@ -128,46 +139,89 @@ type populationOpts struct {
 	seed                      int64
 	workers                   int
 	rec                       *trace.Recorder
+
+	faults          string
+	faultSeed       int64
+	overselect      float64
+	quorum          int
+	minParticipants int
+	cooldown        int
 }
 
 // runPopulation executes population mode and prints one line per round.
 func runPopulation(o populationOpts) error {
 	pop := device.NewPopulation(o.n, o.seed)
+	fseed := o.faultSeed
+	if fseed == 0 {
+		fseed = o.seed*0x9e3779b9 + 97
+	}
+	plan, err := fault.ParseSpec(o.faults, fseed)
+	if err != nil {
+		return err
+	}
+	// Over-selection: draw a larger cohort and keep only the first
+	// `cohort` survivors, so faults and stragglers eat the margin.
+	drawn, q := o.cohort, o.quorum
+	if o.overselect > 0 {
+		drawn = int(math.Ceil(float64(o.cohort) * (1 + o.overselect)))
+		if q <= 0 {
+			q = o.cohort
+		}
+	}
 	var s sample.Sampler
 	switch o.sampler {
 	case "uniform":
-		s = sample.NewUniform(o.n, o.cohort, o.seed)
+		s = sample.NewUniform(o.n, drawn, o.seed)
 	case "window":
-		a := sample.NewAvailability(o.n, o.cohort, o.seed)
+		a := sample.NewAvailability(o.n, drawn, o.seed)
 		a.WindowHours = o.windowHours
 		s = a
 	default:
 		return fmt.Errorf("unknown sampler %q (use 'uniform' or 'window')", o.sampler)
 	}
+	if o.cooldown > 0 {
+		s = sample.NewCooldown(s, o.cooldown)
+	}
 	cfg := fl.PopulationConfig{
-		Arch:          nn.LeNetSmall(1, 16, 16, 10),
-		Population:    pop,
-		Sampler:       s,
-		Rounds:        o.rounds,
-		TotalShards:   o.shards,
-		Workers:       o.workers,
-		BatteryBudget: o.battery,
-		Trace:         o.rec,
+		Arch:            nn.LeNetSmall(1, 16, 16, 10),
+		Population:      pop,
+		Sampler:         s,
+		Rounds:          o.rounds,
+		TotalShards:     o.shards,
+		Workers:         o.workers,
+		BatteryBudget:   o.battery,
+		Faults:          plan,
+		Quorum:          q,
+		MinParticipants: o.minParticipants,
+		Trace:           o.rec,
 	}
 	hist, err := fl.SimulatePopulationRounds(cfg)
-	if err != nil {
-		return err
+	// A mid-run error still returns the completed rounds; print them
+	// before reporting the failure.
+	if err == nil || (hist != nil && len(hist.Rounds) > 0) {
+		fmt.Printf("population %d, cohort %d (%s), %d shards/round, %d rounds",
+			o.n, drawn, s.Name(), o.shards, o.rounds)
+		if plan != nil {
+			fmt.Printf(", faults %s (seed %d)", plan, fseed)
+		}
+		if q > 0 {
+			fmt.Printf(", quorum %d", q)
+		}
+		fmt.Println()
+		fmt.Printf("%5s %8s %12s %10s %10s %10s %9s %9s %7s %5s %6s\n",
+			"round", "selected", "participants", "samples", "pred(s)", "actual(s)", "energy(J)", "straggler", "faults", "late", "status")
+		for _, r := range hist.Rounds {
+			status := "ok"
+			if r.Failed {
+				status = "FAILED"
+			}
+			fmt.Printf("%5d %8d %12d %10d %10.2f %10.2f %9.1f %9d %7d %5d %6s\n",
+				r.Round, r.Selected, r.Participants, r.Samples, r.PredictedS, r.MakespanS, r.EnergyJ, r.Straggler,
+				r.Faulted, r.Late, status)
+		}
+		fmt.Printf("total: %.2f virtual seconds, %.1f J across cohorts\n", hist.TotalSeconds, hist.TotalEnergyJ)
 	}
-	fmt.Printf("population %d, cohort %d (%s), %d shards/round, %d rounds\n",
-		o.n, o.cohort, s.Name(), o.shards, o.rounds)
-	fmt.Printf("%5s %8s %12s %10s %10s %10s %9s %9s\n",
-		"round", "selected", "participants", "samples", "pred(s)", "actual(s)", "energy(J)", "straggler")
-	for _, r := range hist.Rounds {
-		fmt.Printf("%5d %8d %12d %10d %10.2f %10.2f %9.1f %9d\n",
-			r.Round, r.Selected, r.Participants, r.Samples, r.PredictedS, r.MakespanS, r.EnergyJ, r.Straggler)
-	}
-	fmt.Printf("total: %.2f virtual seconds, %.1f J across cohorts\n", hist.TotalSeconds, hist.TotalEnergyJ)
-	return nil
+	return err
 }
 
 // writeTrace flushes the collected trace to the requested outputs.

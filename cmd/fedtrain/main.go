@@ -43,6 +43,14 @@ func main() {
 		traceCSV  = flag.String("trace-csv", "", "write the run's round trace to this CSV file")
 		traceSum  = flag.Bool("trace-summary", false, "print a per-round trace summary table to stderr")
 		traceCap  = flag.Int("trace-cap", 0, "trace ring capacity in events (0 = default 65536)")
+
+		faults    = flag.String("faults", "", "fault scenario, e.g. 'crash=0.1,battery=0.02,flap=0.05,corrupt=0.01,degrade=0.2,slow=4' (empty = no faults)")
+		faultSeed = flag.Int64("fault-seed", 0, "seed for the fault plan (0 = derive from -seed)")
+		quorum    = flag.Int("quorum", 0, "close each round after this many surviving updates, discarding later ones (0 = wait for all)")
+		minPart   = flag.Int("min-participants", 0, "record rounds with fewer surviving updates as failed instead of aborting (0 = off)")
+		ckptEvery = flag.Int("checkpoint-every", 0, "snapshot the resumable run state to -run-state every k rounds (0 = off)")
+		runState  = flag.String("run-state", "", "file for -checkpoint-every snapshots")
+		resume    = flag.String("resume", "", "resume a run from this -run-state snapshot (flags must match the original run)")
 	)
 	flag.Parse()
 
@@ -139,22 +147,68 @@ func main() {
 	fmt.Printf("schedule (samples): %v  — predicted makespan %.0f s at paper scale\n",
 		part.Sizes(), asg.PredictedMakespan)
 
-	hist, err := tb.RunFederated(fedsched.RunConfig{
+	fseed := *faultSeed
+	if fseed == 0 {
+		fseed = *seed*0x9e3779b9 + 97
+	}
+	plan, err := fedsched.ParseFaultSpec(*faults, fseed)
+	check(err)
+	cfg := fedsched.RunConfig{
 		Arch: arch, Rounds: *rounds, LR: *lr, Momentum: *momentum,
 		Seed: *seed, Precision: prec, EvalEvery: 1, SecureAgg: *secure,
 		DeadlineSeconds: *deadline, Workers: *workers, Trace: rec,
-	}, train, part, test)
-	check(err)
+		Faults: plan, Quorum: *quorum, MinParticipants: *minPart,
+	}
+	if *ckptEvery > 0 {
+		if *runState == "" {
+			fatalf("-checkpoint-every needs -run-state")
+		}
+		cfg.CheckpointEvery = *ckptEvery
+		cfg.CheckpointSink = func(ck *fedsched.RunCheckpoint) error {
+			return writeRunState(*runState, ck)
+		}
+	}
+	if *resume != "" {
+		f, err := os.Open(*resume)
+		check(err)
+		ck, err := fedsched.LoadRunCheckpoint(f)
+		check(err)
+		check(f.Close())
+		cfg.Resume = ck
+		fmt.Printf("resuming from %s at round %d\n", *resume, ck.NextRound)
+	}
 
+	hist, err := tb.RunFederated(cfg, train, part, test)
+	if err != nil && (hist == nil || len(hist.Rounds) == 0) {
+		check(err)
+	}
+
+	showFaults := plan != nil || *quorum > 0
 	for _, r := range hist.Rounds {
-		dropped := 0
+		dropped, faulted, late := 0, 0, 0
 		for _, cr := range r.Clients {
-			if cr.Dropped {
+			switch {
+			case cr.Dropped:
 				dropped++
+			case cr.Fault != 0:
+				faulted++
+			case cr.Late:
+				late++
 			}
 		}
-		fmt.Printf("round %2d  makespan %7.2f s  loss %6.4f  accuracy %.4f  dropped %d\n",
+		fmt.Printf("round %2d  makespan %7.2f s  loss %6.4f  accuracy %.4f  dropped %d",
 			r.Round, r.Makespan, r.TrainLoss, r.Accuracy, dropped)
+		if showFaults {
+			fmt.Printf("  faulted %d  late %d", faulted, late)
+			if r.Failed {
+				fmt.Print("  FAILED")
+			}
+		}
+		fmt.Println()
+	}
+	if err != nil {
+		// The run died mid-way; the rounds above are what completed.
+		fatalf("run aborted after %d rounds: %v", len(hist.Rounds), err)
 	}
 	fmt.Printf("\nfinal accuracy %.4f over %.0f simulated seconds (%.1f kJ total energy)\n",
 		hist.FinalAccuracy, hist.TotalSeconds, hist.TotalEnergyJ/1000)
@@ -189,6 +243,27 @@ func main() {
 			check(trace.WriteSummary(os.Stderr, events))
 		}
 	}
+}
+
+// writeRunState atomically replaces path with the snapshot (write to a
+// temp file in the same directory, then rename), so a crash mid-write
+// never corrupts the previous good snapshot.
+func writeRunState(path string, ck *fedsched.RunCheckpoint) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := ck.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func check(err error) {

@@ -36,6 +36,7 @@ import (
 	"fedsched/internal/data"
 	"fedsched/internal/device"
 	"fedsched/internal/experiments"
+	"fedsched/internal/fault"
 	"fedsched/internal/fl"
 	"fedsched/internal/network"
 	"fedsched/internal/nn"
@@ -121,6 +122,15 @@ type (
 	PopulationRound = fl.PopulationRound
 	// PopulationHistory is the result of SimulatePopulation.
 	PopulationHistory = fl.PopulationHistory
+	// FaultPlan is a seeded deterministic fault scenario; point
+	// RunConfig.Faults / PopulationConfig.Faults at one.
+	FaultPlan = fault.Plan
+	// FaultKind discriminates injected fault types (crash, battery
+	// death, link flap, corrupt update).
+	FaultKind = fault.Kind
+	// RunCheckpoint is a resumable snapshot of a synchronous run (see
+	// RunConfig.CheckpointEvery / CheckpointSink / Resume).
+	RunCheckpoint = fl.Checkpoint
 )
 
 // Gossip topologies.
@@ -186,6 +196,15 @@ var (
 	NewPopulationRunner = fl.NewPopulationRunner
 	// SimulatePopulation runs a full population-scale simulation.
 	SimulatePopulation = fl.SimulatePopulationRounds
+	// ParseFaultSpec parses "crash=0.1,flap=0.05,…" into a FaultPlan
+	// (empty spec = nil plan, no faults).
+	ParseFaultSpec = fault.ParseSpec
+	// LoadRunCheckpoint reads a snapshot written by RunCheckpoint.Save.
+	LoadRunCheckpoint = fl.LoadCheckpoint
+	// NewCooldownSampler wraps a Sampler with per-client failure backoff
+	// (exponential, production-FL style); the engines report outcomes to
+	// it automatically.
+	NewCooldownSampler = sample.NewCooldown
 )
 
 // Architecture constructors (paper scale and reduced scale).

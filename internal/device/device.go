@@ -261,6 +261,58 @@ func (d *Device) ColdEpochTime(arch *nn.Arch, n int) float64 {
 	return t
 }
 
+// State is the dynamic portion of a Device — everything Snapshot/Restore
+// round-trips for checkpoint/resume of a multi-round run. The Profile is
+// configuration, not state, and is reconstructed by the caller.
+type State struct {
+	TempC      float64 `json:"temp_c"`
+	FreqFactor float64 `json:"freq_factor"`
+	BigOffline bool    `json:"big_offline,omitempty"`
+	NowSeconds float64 `json:"now_seconds"`
+	EnergyJ    float64 `json:"energy_j"`
+	Throttles  int     `json:"throttles,omitempty"`
+	Throttled  bool    `json:"throttled,omitempty"`
+}
+
+// Snapshot captures the device's dynamic state. Restoring it onto a
+// device with the same Profile reproduces the original bit-for-bit: the
+// thermal/governor integration is a pure function of (Profile, State,
+// workload).
+func (d *Device) Snapshot() State {
+	return State{
+		TempC:      d.TempC,
+		FreqFactor: d.FreqFactor,
+		BigOffline: d.bigOffline,
+		NowSeconds: d.NowSeconds,
+		EnergyJ:    d.EnergyJ,
+		Throttles:  d.Throttles,
+		Throttled:  d.throttled,
+	}
+}
+
+// Restore overwrites the device's dynamic state with a Snapshot. The
+// Tracer/TraceID wiring is left untouched (it belongs to the session,
+// not the state).
+func (d *Device) Restore(s State) {
+	d.TempC = s.TempC
+	d.FreqFactor = s.FreqFactor
+	d.bigOffline = s.BigOffline
+	d.NowSeconds = s.NowSeconds
+	d.EnergyJ = s.EnergyJ
+	d.Throttles = s.Throttles
+	d.throttled = s.Throttled
+}
+
+// DrainBattery empties the battery account: the device's consumed energy
+// jumps to its full battery capacity, so BatteryRemaining reports 0 and
+// CapacityShards 0 — battery death mid-round (internal/fault). Devices
+// without a battery model (BatteryJ ≤ 0) are unaffected.
+func (d *Device) DrainBattery() {
+	if d.BatteryJ > 0 && d.EnergyJ < d.BatteryJ {
+		d.EnergyJ = d.BatteryJ
+	}
+}
+
 // BatteryRemaining returns the fraction of battery energy left, clamped to
 // [0, 1].
 func (d *Device) BatteryRemaining() float64 {

@@ -315,3 +315,58 @@ func TestCapacityShardsNoBatteryModel(t *testing.T) {
 		t.Fatal("missing battery model should be unconstrained")
 	}
 }
+
+func TestSnapshotRestoreBitIdentical(t *testing.T) {
+	// Warm a device into a non-trivial state (throttled, energy spent),
+	// snapshot, keep training, then restore onto a fresh device and
+	// verify the continuation replays bit-for-bit.
+	a := New(Nexus6P())
+	a.TrainSamples(lenet, 6000, 20)
+	snap := a.Snapshot()
+
+	cont, _ := a.TrainSamples(lenet, 3000, 20)
+	after := a.Snapshot()
+
+	b := New(Nexus6P())
+	b.Restore(snap)
+	if got := b.Snapshot(); got != snap {
+		t.Fatalf("Restore round-trip %+v, want %+v", got, snap)
+	}
+	cont2, _ := b.TrainSamples(lenet, 3000, 20)
+	if cont2 != cont {
+		t.Fatalf("restored continuation took %v s, original %v s", cont2, cont)
+	}
+	if got := b.Snapshot(); got != after {
+		t.Fatalf("restored end state %+v, want %+v", got, after)
+	}
+}
+
+func TestDrainBattery(t *testing.T) {
+	d := New(Pixel2())
+	d.TrainSamples(lenet, 1000, 20)
+	if d.BatteryRemaining() <= 0 {
+		t.Fatal("fixture battery already empty")
+	}
+	d.DrainBattery()
+	if got := d.BatteryRemaining(); got != 0 {
+		t.Fatalf("BatteryRemaining after drain = %v, want 0", got)
+	}
+	if d.CapacityShards(lenet, 100, 1) != 0 {
+		t.Fatal("drained battery should afford no shards")
+	}
+	// Idempotent, and a no-op without a battery model.
+	e := d.EnergyJ
+	d.DrainBattery()
+	if d.EnergyJ != e {
+		t.Fatal("second drain changed the energy account")
+	}
+	p := Pixel2()
+	p.BatteryJ = 0
+	n := New(p)
+	n.TrainSamples(lenet, 100, 20)
+	e = n.EnergyJ
+	n.DrainBattery()
+	if n.EnergyJ != e {
+		t.Fatal("drain changed a device without a battery model")
+	}
+}

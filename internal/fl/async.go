@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"fedsched/internal/data"
+	"fedsched/internal/fault"
 	"fedsched/internal/nn"
 	"fedsched/internal/sim"
 	"fedsched/internal/tensor"
@@ -70,12 +71,21 @@ type AsyncHistory struct {
 // client's merge event, which keeps every server merge in exact virtual
 // time order — results are bit-identical to the sequential engine.
 //
+// Injected faults (Config.Faults) are drawn per (client cycle, client
+// id): a fatal fault wastes the cycle's virtual time and energy without
+// ever merging (the trainer and RNG are untouched, exactly as in the
+// synchronous engine), and a corrupted upload is rejected at the server
+// without advancing the model version. Each costs one KindFault event.
+//
 // fedlint:deterministic
-// fedlint:trace KindMerge
+// fedlint:trace KindMerge,KindFault
 func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHistory, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Arch == nil {
 		return nil, fmt.Errorf("fl: no architecture")
+	}
+	if err := cfg.Faults.Check(); err != nil {
+		return nil, fmt.Errorf("fl: %w", err)
 	}
 	active := make([]*Client, 0, len(clients))
 	for _, c := range clients {
@@ -160,11 +170,68 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 		}
 	}
 
+	// cycles counts each client's started iterations — the "round" key for
+	// its fault draws. Touched only on the event-loop goroutine.
+	cycles := make([]int, len(active))
+
 	// cycle runs one client iteration: the closure chain mirrors the
 	// download → train → upload pipeline in virtual time.
-	var cycle func(c *Client)
-	cycle = func(c *Client) {
+	var cycle func(ci int)
+	cycle = func(ci int) {
 		if done() {
+			return
+		}
+		c := active[ci]
+		f := cfg.Faults.Fault(cycles[ci], c.ID)
+		fcycle := cycles[ci]
+		cycles[ci]++
+		link := c.Link.Degraded(f.Slow)
+		if f.Kind == fault.Crash || f.Kind == fault.Battery || f.Kind == fault.LinkFlap {
+			// Fatal fault: the update is lost before it can merge, so the
+			// real gradient work is skipped (trainer and RNG untouched)
+			// and only the wasted virtual time and energy are simulated —
+			// then the client starts its next cycle, like a restarted app.
+			commDown := link.DownloadTime(modelBytes)
+			engine.After(commDown, func() {
+				if done() {
+					return
+				}
+				n := c.Local.Len()
+				compute, energy, battery := 0.0, 0.0, 1.0
+				if c.Device != nil {
+					e0 := c.Device.EnergyJ
+					if f.Kind == fault.LinkFlap {
+						// Full epoch computed; the link dies Point of the
+						// way through the upload.
+						compute, _ = c.Device.TrainSamples(cfg.Arch, n, cfg.BatchSize)
+					} else {
+						// Crash / battery death Point of the way through
+						// the shard.
+						compute, _ = c.Device.TrainSamples(cfg.Arch, int(f.Point*float64(n)), cfg.BatchSize)
+						if f.Kind == fault.Battery {
+							c.Device.DrainBattery()
+						}
+					}
+					energy = c.Device.EnergyJ - e0
+					battery = c.Device.BatteryRemaining()
+				}
+				commUp := 0.0
+				if f.Kind == fault.LinkFlap {
+					commUp = f.Point * link.UploadTime(modelBytes)
+				}
+				engine.After(compute+commUp, func() {
+					if done() {
+						return
+					}
+					cfg.Trace.Emit(trace.Event{
+						Kind: trace.KindFault, Round: fcycle, Client: c.ID,
+						Samples: n, Flag: int(f.Kind), AtS: engine.Now(),
+						ComputeS: compute, CommS: commDown + commUp,
+						EnergyJ: energy, Battery: battery,
+					})
+					cycle(ci)
+				})
+			})
 			return
 		}
 		versionAtPull := version
@@ -186,7 +253,7 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 				close(trained)
 			}()
 		}
-		commDown := c.Link.DownloadTime(modelBytes)
+		commDown := link.DownloadTime(modelBytes)
 		engine.After(commDown, func() {
 			if trained != nil {
 				<-trained // join before anything can observe c's state
@@ -203,12 +270,26 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 			if c.Device != nil {
 				e0 := c.Device.EnergyJ
 				compute, _ = c.Device.TrainSamples(cfg.Arch, c.Local.Len(), cfg.BatchSize)
-				c.Device.Idle(c.Link.UploadTime(modelBytes))
+				c.Device.Idle(link.UploadTime(modelBytes))
 				energy = c.Device.EnergyJ - e0
 				battery = c.Device.BatteryRemaining()
 			}
-			engine.After(compute+c.Link.UploadTime(modelBytes), func() {
+			engine.After(compute+link.UploadTime(modelBytes), func() {
 				if done() {
+					return
+				}
+				if f.Kind == fault.Corrupt {
+					// The upload arrived but is garbage: the server
+					// rejects it without touching the model or version.
+					// The client trained for real (its RNG advanced), so
+					// only the merge is lost.
+					cfg.Trace.Emit(trace.Event{
+						Kind: trace.KindFault, Round: fcycle, Client: c.ID,
+						Samples: c.Local.Len(), Flag: int(f.Kind), AtS: engine.Now(),
+						ComputeS: compute, CommS: commDown + link.UploadTime(modelBytes),
+						EnergyJ: energy, Battery: battery,
+					})
+					cycle(ci)
 					return
 				}
 				// Server merge with staleness damping.
@@ -223,16 +304,16 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 				cfg.Trace.Emit(trace.Event{
 					Kind: trace.KindMerge, Round: hist.Updates - 1, Client: c.ID,
 					Samples: c.Local.Len(), Staleness: int(staleness), AtS: engine.Now(),
-					ComputeS: compute, CommS: commDown + c.Link.UploadTime(modelBytes),
+					ComputeS: compute, CommS: commDown + link.UploadTime(modelBytes),
 					EnergyJ: energy, Battery: battery,
 				})
-				cycle(c) // immediately start the next iteration
+				cycle(ci) // immediately start the next iteration
 			})
 		})
 	}
 
-	for _, c := range active {
-		cycle(c)
+	for ci := range active {
+		cycle(ci)
 	}
 	if math.IsInf(deadline, 1) {
 		// Unbounded duration: run events until MaxUpdates hits; remaining

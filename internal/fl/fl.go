@@ -17,9 +17,11 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sort"
 
 	"fedsched/internal/data"
 	"fedsched/internal/device"
+	"fedsched/internal/fault"
 	"fedsched/internal/metrics"
 	"fedsched/internal/network"
 	"fedsched/internal/nn"
@@ -107,6 +109,44 @@ type Config struct {
 	// the engine merges them post-join in client order, so the trace is
 	// bit-identical for any Workers value — same contract as the History.
 	Trace *trace.Recorder
+	// Faults, when non-nil, injects deterministic client faults
+	// (internal/fault): crashes and battery death mid-shard, link flaps
+	// and degradation, corrupted updates. Faulted updates never
+	// aggregate; the time, energy and heat spent before the failure are
+	// still simulated. Draws are pure hashes of (kind, round, client,
+	// Faults.Seed), so faulty runs stay bit-identical for any Workers.
+	Faults *fault.Plan
+	// Quorum, when positive, closes each round after the first Quorum
+	// surviving updates, ordered by realized round span (ties by client
+	// id). Later survivors are flagged late and their updates discarded
+	// — the over-selection pattern of production FL: draw
+	// ⌈S·(1+margin)⌉ clients with the Sampler and set Quorum = S, so
+	// stragglers and faults eat the margin instead of the round.
+	// Incompatible with SecureAgg (a discarded masked share is
+	// unrecoverable; see DESIGN).
+	Quorum int
+	// MinParticipants, when positive, is the round's participation
+	// floor: a round that aggregates fewer surviving updates is recorded
+	// as failed (RoundStats.Failed; the global model stands) instead of
+	// aborting the run. With the floor unset, a round with zero
+	// participants remains a run error (legacy behavior), except under a
+	// deadline or a fault plan, where wasted rounds are expected.
+	MinParticipants int
+	// CheckpointEvery, when positive with CheckpointSink set, snapshots
+	// the run every k completed rounds: the global model, every client's
+	// round/RNG position and device state, the sampler's cooldown state
+	// and the history so far. Resuming from the snapshot (Resume)
+	// reproduces the uninterrupted run bit-identically — history and
+	// trace — at any Workers value.
+	CheckpointEvery int
+	// CheckpointSink receives each snapshot; typically it serializes via
+	// Checkpoint.Save. A sink error aborts the run (returning the
+	// partial History).
+	CheckpointSink func(*Checkpoint) error
+	// Resume, when non-nil, restores a checkpointed run: the
+	// configuration must match the checkpointed one (seed, rounds,
+	// clients), and the run continues from Checkpoint.NextRound.
+	Resume *Checkpoint
 }
 
 func (c Config) withDefaults() Config {
@@ -143,6 +183,12 @@ type ClientRound struct {
 	// weights (exploding gradients); the server rejects such updates — the
 	// fault-tolerance concern of Smith et al. [10].
 	Diverged bool
+	// Fault records the injected fault that hit this client this round
+	// (fault.None when unaffected). Faulted updates never aggregate.
+	Fault fault.Kind
+	// Late marks a survivor that finished after the quorum closed
+	// (Config.Quorum); its update was discarded.
+	Late bool
 }
 
 // RoundStats aggregates one synchronous round.
@@ -151,7 +197,11 @@ type RoundStats struct {
 	Makespan  float64 // max participant compute+comm seconds
 	TrainLoss float64 // sample-weighted mean local loss
 	Accuracy  float64 // test accuracy (NaN when not evaluated)
-	Clients   []ClientRound
+	// Failed marks a round that closed below the participation floor
+	// (Config.MinParticipants) or with no usable updates at all: nothing
+	// aggregated and the global model is unchanged.
+	Failed  bool
+	Clients []ClientRound
 }
 
 // History is the result of a federated run.
@@ -170,10 +220,17 @@ type History struct {
 
 // Run executes synchronous FedAvg. test may be nil to skip evaluation.
 // The history and trace are bit-identical for any Workers value at a
-// fixed seed, and every round emits its per-client and summary events.
+// fixed seed, and every round emits its per-client and summary events
+// (plus one KindFault event per injected fault).
+//
+// When a mid-run error occurs (a failed round below the legacy no-floor
+// path, a secure-aggregation dropout, a checkpoint-sink failure), the
+// completed rounds are NOT discarded: the partial History — including
+// the global model as of the last completed round — is returned
+// alongside the error.
 //
 // fedlint:deterministic
-// fedlint:trace KindClientRound,KindRoundSummary
+// fedlint:trace KindClientRound,KindRoundSummary,KindFault
 func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Arch == nil {
@@ -181,6 +238,14 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 	}
 	if len(clients) == 0 {
 		return nil, fmt.Errorf("fl: no clients")
+	}
+	if err := cfg.Faults.Check(); err != nil {
+		return nil, fmt.Errorf("fl: %w", err)
+	}
+	if cfg.SecureAgg && cfg.Quorum > 0 {
+		// The quorum cut discards late masked shares by design, and the
+		// pairwise-mask protocol cannot recover them (see DESIGN).
+		return nil, fmt.Errorf("fl: Quorum is incompatible with SecureAgg")
 	}
 	active := make([]*Client, 0, len(clients))
 	for _, c := range clients {
@@ -207,14 +272,54 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 	hist := &History{}
 	globalW := global.GetWeights()
 	crs := make([]ClientRound, len(active))
+	spans := make([]float64, len(active))
 	diverged := make([]bool, len(active))
+	eligible := make([]int, 0, len(active))
 	clientTrace := attachClientTracers(cfg.Trace, active)
 	selIdent, selBuf, recsSel := samplerScratch(cfg.Sampler, len(active), clientTrace != nil)
+	rep, _ := cfg.Sampler.(sample.FailureReporter)
 	// sumW is the plaintext aggregation scratch, allocated once and
 	// reused (zeroed) every round instead of cloning per participant.
 	var sumW []*tensor.Tensor
 
-	for round := 0; round < cfg.Rounds; round++ {
+	// finish stamps the run-final fields; it is shared by the success
+	// path and the partial-History error paths so callers can always
+	// checkpoint or inspect what completed.
+	finish := func() *History {
+		global.SetWeights(globalW)
+		hist.Model = global
+		for _, c := range clients {
+			if c.Device != nil {
+				hist.TotalEnergyJ += c.Device.EnergyJ
+			}
+		}
+		return hist
+	}
+
+	startRound := 0
+	if cfg.Resume != nil {
+		next, err := resumeRun(cfg, active, global, hist)
+		if err != nil {
+			return nil, err
+		}
+		startRound = next
+		globalW = global.GetWeights()
+	}
+
+	// checkpointAfter snapshots the run once `round` has fully completed
+	// (history appended, devices idled), when the cadence says so.
+	checkpointAfter := func(round int) error {
+		if cfg.CheckpointEvery <= 0 || cfg.CheckpointSink == nil || (round+1)%cfg.CheckpointEvery != 0 {
+			return nil
+		}
+		ck, err := buildCheckpoint(cfg, active, global, globalW, hist, round+1)
+		if err != nil {
+			return err
+		}
+		return cfg.CheckpointSink(ck)
+	}
+
+	for round := startRound; round < cfg.Rounds; round++ {
 		stats := RoundStats{Round: round}
 
 		// The round's cohort: indices into active. Without a sampler every
@@ -231,6 +336,9 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 			stats.Accuracy = -1
 			emitRoundTrace(cfg.Trace, nil, stats, -1)
 			hist.Rounds = append(hist.Rounds, stats)
+			if err := checkpointAfter(round); err != nil {
+				return finish(), fmt.Errorf("fl: checkpoint after round %d: %w", round, err)
+			}
 			continue
 		}
 		roundRecs := clientTrace
@@ -244,13 +352,68 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 		// Local training fans out across the worker pool. Every client
 		// owns its network, optimizer, RNG, local shard and simulated
 		// device, so workers never share mutable state; everything
-		// order-sensitive happens after the join, in cohort order.
+		// order-sensitive happens after the join, in cohort order. Fault
+		// draws are pure hashes of (round, client id), so evaluating them
+		// inside the workers costs nothing in determinism.
 		forEach(workerCount(cfg.Workers, len(sel)), len(sel), func(si int) {
 			i := sel[si]
-			crs[si] = active[i].trainRound(cfg, globalW, modelBytes)
-			diverged[si] = active[i].net.HasNonFinite()
+			f := cfg.Faults.Fault(round, active[i].ID)
+			crs[si] = active[i].trainRound(cfg, globalW, modelBytes, f)
+			// A fatally-faulted client never touched its trainer, so the
+			// non-finite check would read stale weights.
+			diverged[si] = f.Kind == fault.None && active[i].net.HasNonFinite()
 		})
 
+		// Pass 1 — classify: faulted and diverged updates are out
+		// immediately; deadline overruns drop; the rest are candidates for
+		// the quorum cut.
+		eligible = eligible[:0]
+		for si := range sel {
+			cr := &crs[si]
+			if cr.Fault != fault.None {
+				continue
+			}
+			if diverged[si] {
+				cr.Diverged = true
+				continue
+			}
+			spans[si] = cr.ComputeS + cr.CommS
+			if cfg.DeadlineSeconds > 0 && spans[si] > cfg.DeadlineSeconds {
+				cr.Dropped = true
+				continue
+			}
+			eligible = append(eligible, si)
+		}
+
+		// Pass 2 — quorum: with over-selection, the round closes after the
+		// first Quorum survivors ordered by realized span (ties by client
+		// id — a strict total order, so the cut is deterministic). The
+		// rest finished too late and are discarded. Aggregation below must
+		// still run in cohort order for bit-identical float reduction, so
+		// the surviving indices are re-sorted ascending.
+		if cfg.Quorum > 0 && len(eligible) > cfg.Quorum {
+			sort.Slice(eligible, func(a, b int) bool {
+				sa, sb := eligible[a], eligible[b]
+				if spans[sa] < spans[sb] {
+					return true
+				}
+				if spans[sb] < spans[sa] {
+					return false
+				}
+				return crs[sa].ClientID < crs[sb].ClientID
+			})
+			for _, si := range eligible[cfg.Quorum:] {
+				crs[si].Late = true
+			}
+			eligible = eligible[:cfg.Quorum]
+			sort.Ints(eligible)
+		}
+
+		// Pass 3 — reduce in cohort order, exactly the legacy loop with
+		// extra skip cases: faulted, diverged and late updates are
+		// recorded but never aggregate and (like diverged updates) do not
+		// extend the makespan — the server stops waiting the moment it
+		// learns the update is lost.
 		var (
 			total        int
 			lossSum      float64
@@ -261,24 +424,17 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 		for si, i := range sel {
 			c := active[i]
 			cr := crs[si]
-			if diverged[si] {
-				cr.Diverged = true
-				stats.Clients = append(stats.Clients, cr)
+			stats.Clients = append(stats.Clients, cr)
+			if cr.Fault != fault.None || cr.Diverged || cr.Late {
 				continue
 			}
-			span := cr.ComputeS + cr.CommS
-			if cfg.DeadlineSeconds > 0 && span > cfg.DeadlineSeconds {
-				// Hard dropout: the update is discarded; the round does
-				// not wait past the deadline.
-				cr.Dropped = true
-				stats.Clients = append(stats.Clients, cr)
+			if cr.Dropped {
 				if cfg.DeadlineSeconds > stats.Makespan {
 					stats.Makespan = cfg.DeadlineSeconds
 				}
 				continue
 			}
-			stats.Clients = append(stats.Clients, cr)
-			if span > stats.Makespan {
+			if span := spans[si]; span > stats.Makespan {
 				stats.Makespan = span
 				straggler = c.ID
 			}
@@ -287,23 +443,55 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 			sampleCounts = append(sampleCounts, cr.Samples)
 			total += cr.Samples
 		}
-		if total == 0 {
-			if cfg.DeadlineSeconds > 0 {
-				// Every participant missed the deadline: a wasted round,
-				// not an error. The global model stands.
+
+		// Feed outcomes back to a failure-aware sampler (cohort order, on
+		// the engine goroutine — deterministic). Late survivors did finish,
+		// so they count as successes for backoff purposes.
+		if rep != nil {
+			for si, i := range sel {
+				cr := &crs[si]
+				if cr.Fault != fault.None || cr.Diverged || cr.Dropped {
+					rep.ReportFailure(i, round)
+				} else {
+					rep.ReportSuccess(i)
+				}
+			}
+		}
+
+		if total == 0 || (cfg.MinParticipants > 0 && len(participants) < cfg.MinParticipants) {
+			if cfg.DeadlineSeconds > 0 || cfg.MinParticipants > 0 || cfg.Faults.Active() {
+				// Below the participation floor (or nobody at all) in a
+				// run that expects attrition: a failed round, not a run
+				// error. Nothing aggregates; the global model stands.
+				stats.Failed = true
 				stats.TrainLoss = math.NaN()
 				stats.Accuracy = -1
 				emitRoundTrace(cfg.Trace, roundRecs, stats, straggler)
 				hist.Rounds = append(hist.Rounds, stats)
 				hist.TotalSeconds += stats.Makespan
+				if err := checkpointAfter(round); err != nil {
+					return finish(), fmt.Errorf("fl: checkpoint after round %d: %w", round, err)
+				}
 				continue
 			}
-			return nil, fmt.Errorf("fl: round %d had no participants", round)
+			return finish(), fmt.Errorf("fl: round %d had no participants", round)
 		}
 		if cfg.SecureAgg {
+			if len(participants) < len(sel) {
+				// The pairwise masks were exchanged across the whole
+				// cohort before training; a member that never delivers
+				// leaves its mask shares unsummed, and this simulation has
+				// no share-recovery round. Silently aggregating would
+				// yield a mask-polluted model, so fail loudly instead (see
+				// DESIGN).
+				return finish(), fmt.Errorf(
+					"fl: secure aggregation round %d lost %d of %d masked cohort members; "+
+						"pairwise mask shares cannot be recovered — disable SecureAgg to tolerate dropouts",
+					round, len(sel)-len(participants), len(sel))
+			}
 			agg, err := secureRound(global, participants, sampleCounts)
 			if err != nil {
-				return nil, err
+				return finish(), err
 			}
 			globalW = agg
 		} else {
@@ -339,20 +527,17 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 		emitRoundTrace(cfg.Trace, roundRecs, stats, straggler)
 		hist.Rounds = append(hist.Rounds, stats)
 		hist.TotalSeconds += stats.Makespan
+		if err := checkpointAfter(round); err != nil {
+			return finish(), fmt.Errorf("fl: checkpoint after round %d: %w", round, err)
+		}
 	}
 
-	global.SetWeights(globalW)
-	hist.Model = global
+	finish()
 	if test != nil {
 		// Evaluate the final model directly: the last round may not have
 		// evaluated (all-dropped deadline rounds report -1).
 		hist.Confusion = EvaluateConfusion(global, test, 256)
 		hist.FinalAccuracy = hist.Confusion.Accuracy()
-	}
-	for _, c := range clients {
-		if c.Device != nil {
-			hist.TotalEnergyJ += c.Device.EnergyJ
-		}
 	}
 	return hist, nil
 }
@@ -381,9 +566,45 @@ func clientIndex(clients []*Client, id int) int {
 }
 
 // trainRound runs one local epoch on the client and returns its stats.
+// f is the round's injected fault: a fatal pre-upload fault (crash,
+// battery death, link flap) skips the real gradient work entirely — the
+// update would be discarded anyway, and leaving the trainer, RNG and
+// round counter untouched means a resumed run replays only completed
+// training — while still charging the simulated cost spent before the
+// failure. Corrupt clients train normally (the damage happens on the
+// wire) and are rejected by the server after the join. The fault's Slow
+// factor degrades the link for victims and survivors alike.
 //
 // fedlint:hotpath
-func (c *Client) trainRound(cfg Config, globalW []*tensor.Tensor, modelBytes int) ClientRound {
+func (c *Client) trainRound(cfg Config, globalW []*tensor.Tensor, modelBytes int, f fault.Fault) ClientRound {
+	n := c.Local.Len()
+	link := c.Link.Degraded(f.Slow)
+	if f.Kind == fault.Crash || f.Kind == fault.Battery || f.Kind == fault.LinkFlap {
+		cr := ClientRound{ClientID: c.ID, Samples: n, TrainLoss: -1, Fault: f.Kind}
+		if c.Device != nil {
+			e0 := c.Device.EnergyJ
+			th0 := c.Device.Throttles
+			if f.Kind == fault.LinkFlap {
+				// Full epoch computed; the link dies Point of the way
+				// through the model exchange.
+				cr.ComputeS, _ = c.Device.TrainSamples(cfg.Arch, n, cfg.BatchSize)
+				cr.CommS = f.Point * link.RoundTripTime(modelBytes)
+			} else {
+				// The process (or battery) dies Point of the way through
+				// the shard; nothing is ever transmitted.
+				cr.ComputeS, _ = c.Device.TrainSamples(cfg.Arch, int(f.Point*float64(n)), cfg.BatchSize)
+				if f.Kind == fault.Battery {
+					c.Device.DrainBattery()
+				}
+			}
+			cr.EnergyJ = c.Device.EnergyJ - e0
+			cr.Temperature = c.Device.TempC
+			cr.Throttles = c.Device.Throttles - th0
+			cr.BatteryFrac = c.Device.BatteryRemaining()
+		}
+		return cr
+	}
+
 	c.net.SetWeights(globalW)
 	c.net.ResetOpt()
 	if cfg.LRSchedule != nil {
@@ -392,7 +613,6 @@ func (c *Client) trainRound(cfg Config, globalW []*tensor.Tensor, modelBytes int
 	c.round++
 	c.Local.Shuffle(c.rng)
 
-	n := c.Local.Len()
 	lossSum := 0.0
 	batches := 0
 	for i := 0; i < n; i += cfg.BatchSize {
@@ -406,12 +626,12 @@ func (c *Client) trainRound(cfg Config, globalW []*tensor.Tensor, modelBytes int
 		batches++
 	}
 
-	cr := ClientRound{ClientID: c.ID, Samples: n, TrainLoss: lossSum / float64(batches)}
+	cr := ClientRound{ClientID: c.ID, Samples: n, TrainLoss: lossSum / float64(batches), Fault: f.Kind}
 	if c.Device != nil {
 		e0 := c.Device.EnergyJ
 		th0 := c.Device.Throttles
 		cr.ComputeS, _ = c.Device.TrainSamples(cfg.Arch, n, cfg.BatchSize)
-		cr.CommS = c.Link.RoundTripTime(modelBytes)
+		cr.CommS = link.RoundTripTime(modelBytes)
 		cr.EnergyJ = c.Device.EnergyJ - e0
 		cr.Temperature = c.Device.TempC
 		cr.Throttles = c.Device.Throttles - th0

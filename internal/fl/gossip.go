@@ -5,7 +5,9 @@ import (
 	"math/rand"
 
 	"fedsched/internal/data"
+	"fedsched/internal/fault"
 	"fedsched/internal/nn"
+	"fedsched/internal/sample"
 )
 
 // Topology selects the gossip communication pattern.
@@ -53,12 +55,21 @@ type GossipHistory struct {
 // RunGossip executes decentralized training. test may be nil (accuracy
 // fields stay zero).
 //
+// Injected faults (Config.Faults): a fatally-faulted client neither
+// trains nor exchanges that round (only its wasted time/energy is
+// simulated), and a client with a corrupted exchange trains locally but
+// is excluded from the round's pairings — its peers reject the garbage
+// model. Faulted clients do not extend the round makespan.
+//
 // fedlint:deterministic
-// fedlint:trace KindClientRound,KindRoundSummary
+// fedlint:trace KindClientRound,KindRoundSummary,KindFault
 func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*GossipHistory, error) {
 	cfg.Config = cfg.Config.withDefaults()
 	if cfg.Arch == nil {
 		return nil, fmt.Errorf("fl: no architecture")
+	}
+	if err := cfg.Faults.Check(); err != nil {
+		return nil, fmt.Errorf("fl: %w", err)
 	}
 	var active []*Client
 	for _, c := range clients {
@@ -86,8 +97,10 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 	modelBytes := cfg.Arch.SizeBytes()
 	spans := make([]float64, len(active))
 	crs := make([]ClientRound, len(active))
+	pairable := make([]int, 0, len(active))
 	clientTrace := attachClientTracers(cfg.Trace, active)
 	selIdent, selBuf, recsSel := samplerScratch(cfg.Sampler, len(active), clientTrace != nil)
+	rep, _ := cfg.Sampler.(sample.FailureReporter)
 
 	for round := 0; round < cfg.Rounds; round++ {
 		sel := selIdent
@@ -114,6 +127,37 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 		// join in deterministic order.
 		forEach(workerCount(cfg.Workers, len(sel)), len(sel), func(si int) {
 			c := active[sel[si]]
+			f := cfg.Faults.Fault(round, c.ID)
+			link := c.Link.Degraded(f.Slow)
+			spans[si] = 0
+			if f.Kind == fault.Crash || f.Kind == fault.Battery || f.Kind == fault.LinkFlap {
+				// Fatal fault: no real gradient work (trainer and RNG
+				// untouched — the client keeps its pre-round model), only
+				// the simulated cost of the doomed attempt.
+				n := c.Local.Len()
+				crs[si] = ClientRound{ClientID: c.ID, Samples: n, TrainLoss: -1, Fault: f.Kind}
+				if c.Device != nil {
+					e0 := c.Device.EnergyJ
+					th0 := c.Device.Throttles
+					if f.Kind == fault.LinkFlap {
+						comp, _ := c.Device.TrainSamples(cfg.Arch, n, cfg.BatchSize)
+						crs[si].ComputeS = comp
+						crs[si].CommS = f.Point * link.UploadTime(modelBytes)
+					} else {
+						comp, _ := c.Device.TrainSamples(cfg.Arch, int(f.Point*float64(n)), cfg.BatchSize)
+						crs[si].ComputeS = comp
+						if f.Kind == fault.Battery {
+							c.Device.DrainBattery()
+						}
+					}
+					spans[si] = crs[si].ComputeS + crs[si].CommS
+					crs[si].EnergyJ = c.Device.EnergyJ - e0
+					crs[si].Temperature = c.Device.TempC
+					crs[si].Throttles = c.Device.Throttles - th0
+					crs[si].BatteryFrac = c.Device.BatteryRemaining()
+				}
+				return
+			}
 			c.net.ResetOpt()
 			c.Local.Shuffle(c.rng)
 			n := c.Local.Len()
@@ -128,14 +172,13 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 				c.net.Step()
 				batches++
 			}
-			spans[si] = 0
-			crs[si] = ClientRound{ClientID: c.ID, Samples: n, TrainLoss: lossSum / float64(batches)}
+			crs[si] = ClientRound{ClientID: c.ID, Samples: n, TrainLoss: lossSum / float64(batches), Fault: f.Kind}
 			if c.Device != nil {
 				e0 := c.Device.EnergyJ
 				th0 := c.Device.Throttles
 				comp, _ := c.Device.TrainSamples(cfg.Arch, n, cfg.BatchSize)
 				// Peer exchange: send own model, receive the peer's.
-				spans[si] = comp + c.Link.UploadTime(modelBytes) + c.Link.DownloadTime(modelBytes)
+				spans[si] = comp + link.UploadTime(modelBytes) + link.DownloadTime(modelBytes)
 				crs[si].ComputeS = comp
 				crs[si].CommS = spans[si] - comp
 				crs[si].EnergyJ = c.Device.EnergyJ - e0
@@ -147,6 +190,11 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 		makespan := 0.0
 		straggler := -1
 		for si, s := range spans[:len(sel)] {
+			if crs[si].Fault != fault.None {
+				// A faulted client never completes its exchange, so the
+				// round does not wait for it.
+				continue
+			}
 			if s > makespan {
 				makespan = s
 				straggler = active[sel[si]].ID
@@ -162,6 +210,26 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 			Round: round, Makespan: makespan, Accuracy: -1, Clients: crs[:len(sel)],
 			TrainLoss: meanLoss(crs[:len(sel)]),
 		}, straggler)
+		if rep != nil {
+			for si, i := range sel {
+				if crs[si].Fault != fault.None {
+					rep.ReportFailure(i, round)
+				} else {
+					rep.ReportSuccess(i)
+				}
+			}
+		}
+
+		// Only clean clients exchange: fatal victims never sent a model,
+		// and corrupted senders are rejected by their peers. With no fault
+		// plan this is the whole cohort, so pairRNG draws exactly as
+		// before.
+		pairable = pairable[:0]
+		for si := range sel {
+			if crs[si].Fault == fault.None {
+				pairable = append(pairable, si)
+			}
+		}
 
 		// Pairwise averaging in float64 boundary space: both partners'
 		// weights widen into a's boundary tensors, average there, and the
@@ -169,8 +237,8 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 		// tensors are only guaranteed to be live views on the f64 path).
 		// Pairings draw over the cohort, so the peer graph follows the
 		// sampler.
-		for _, pair := range pairings(len(sel), round, cfg.Topology, pairRNG) {
-			a, b := active[sel[pair[0]]], active[sel[pair[1]]]
+		for _, pair := range pairings(len(pairable), round, cfg.Topology, pairRNG) {
+			a, b := active[sel[pairable[pair[0]]]], active[sel[pairable[pair[1]]]]
 			wa := a.net.Weights()
 			accumulateWeighted(wa, b.net.Weights(), 1)
 			scaleWeights(wa, 0.5)

@@ -3,8 +3,10 @@ package fl
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 
 	"fedsched/internal/device"
+	"fedsched/internal/fault"
 	"fedsched/internal/network"
 	"fedsched/internal/nn"
 	"fedsched/internal/profile"
@@ -50,6 +52,21 @@ type PopulationConfig struct {
 	// what that fraction of its remaining battery affords per round
 	// (capacity C_j, §VI-A).
 	BatteryBudget float64
+	// Faults, when non-nil, injects deterministic client faults
+	// (internal/fault) keyed by (round, client id) — O(selected), like
+	// everything else here: only cohort members are ever drawn. Faulted
+	// slots burn simulated time and energy but never count as
+	// participants.
+	Faults *fault.Plan
+	// Quorum, when positive, closes the round after the first Quorum
+	// surviving slots ordered by realized span (ties by client id);
+	// later survivors are flagged late and dropped. Pair it with an
+	// over-selecting Sampler so faults eat the margin, not the round.
+	Quorum int
+	// MinParticipants, when positive, marks rounds that aggregate fewer
+	// surviving slots as failed (PopulationRound.Failed) — the
+	// minimum-participation floor of production FL.
+	MinParticipants int
 	// Trace, when non-nil, receives solver probes, per-user schedule
 	// events, per-client round events and round summaries — the same
 	// schema as the training engines, bit-identical for any Workers.
@@ -95,6 +112,12 @@ type PopulationRound struct {
 	Straggler int
 	EnergyJ   float64
 	Throttles int
+	// Faulted and Late count cohort slots lost to injected faults and to
+	// the quorum cut; Failed marks a round that closed below
+	// MinParticipants (or with no survivors under a fault plan).
+	Faulted int
+	Late    int
+	Failed  bool
 }
 
 // PopulationHistory is the result of SimulatePopulationRounds.
@@ -139,6 +162,8 @@ type PopulationRunner struct {
 	comm       float64 // per-round communication seconds (uniform link)
 	modelBytes int
 
+	rep sample.FailureReporter // cfg.Sampler, if failure-aware
+
 	// Cohort-sized scratch, reused every round.
 	cohort []int
 	devs   []device.Device
@@ -147,7 +172,31 @@ type PopulationRunner struct {
 	uptrs  []*sched.User
 	crs    []ClientRound
 	spans  []float64
+	order  []int             // quorum ordering scratch
+	sorter spanOrder         // closure-free sorter over order
 	rings  []*trace.Recorder // per-slot event rings (tracing only)
+}
+
+// spanOrder sorts slot indices by (realized span asc, client id asc) via
+// a pointer receiver and pre-bound slices — no closures, so the quorum
+// cut stays allocation-free inside the hot Round path.
+type spanOrder struct {
+	idx   []int
+	spans []float64
+	crs   []ClientRound
+}
+
+func (s *spanOrder) Len() int      { return len(s.idx) }
+func (s *spanOrder) Swap(a, b int) { s.idx[a], s.idx[b] = s.idx[b], s.idx[a] }
+func (s *spanOrder) Less(a, b int) bool {
+	x, y := s.idx[a], s.idx[b]
+	if s.spans[x] < s.spans[y] {
+		return true
+	}
+	if s.spans[y] < s.spans[x] {
+		return false
+	}
+	return s.crs[x].ClientID < s.crs[y].ClientID
 }
 
 // NewPopulationRunner validates the config, profiles the archetypes
@@ -174,6 +223,10 @@ func NewPopulationRunner(cfg PopulationConfig) (*PopulationRunner, error) {
 		return nil, fmt.Errorf("fl: population: sampler cohort size %d, want > 0", k)
 	}
 
+	if err := cfg.Faults.Check(); err != nil {
+		return nil, fmt.Errorf("fl: population: %w", err)
+	}
+
 	r := &PopulationRunner{
 		cfg:        cfg,
 		rng:        rand.New(rand.NewSource(cfg.Population.Seed*0x5deece66d + 11)),
@@ -185,7 +238,11 @@ func NewPopulationRunner(cfg PopulationConfig) (*PopulationRunner, error) {
 		uptrs:      make([]*sched.User, k),
 		crs:        make([]ClientRound, k),
 		spans:      make([]float64, k),
+		order:      make([]int, k),
 	}
+	r.rep, _ = cfg.Sampler.(sample.FailureReporter)
+	r.sorter.spans = r.spans
+	r.sorter.crs = r.crs
 	r.comm = cfg.Link.RoundTripTime(r.modelBytes)
 
 	// One offline profile per archetype, shared between archetypes with
@@ -237,7 +294,7 @@ func NewPopulationRunner(cfg PopulationConfig) (*PopulationRunner, error) {
 //
 // fedlint:hotpath
 // fedlint:deterministic
-// fedlint:trace KindClientRound,KindRoundSummary
+// fedlint:trace KindClientRound,KindRoundSummary,KindFault
 func (r *PopulationRunner) Round(round int) (PopulationRound, error) {
 	cfg := r.cfg
 	pr := PopulationRound{Round: round, Straggler: -1}
@@ -296,7 +353,9 @@ func (r *PopulationRunner) Round(round int) (PopulationRound, error) {
 	pr.PredictedS = asg.PredictedMakespan
 
 	// Device simulation fans out across the worker pool; each slot owns
-	// its device, ring and result cells, so workers share nothing.
+	// its device, ring and result cells, so workers share nothing. Fault
+	// draws are pure hashes of (round, client id), so evaluating them
+	// inside the workers is order-independent.
 	workers := workerCount(cfg.Workers, k)
 	forEach(workers, k, func(i int) {
 		d := &r.devs[i]
@@ -309,38 +368,101 @@ func (r *PopulationRunner) Round(round int) (PopulationRound, error) {
 		if samples <= 0 {
 			return
 		}
+		f := cfg.Faults.Fault(round, r.cohort[i])
+		cr := &r.crs[i]
+		cr.Fault = f.Kind
 		e0 := d.EnergyJ
 		th0 := d.Throttles
-		comp, _ := d.TrainSamples(cfg.Arch, samples, cfg.BatchSize)
-		r.spans[i] = comp + r.comm
-		cr := &r.crs[i]
-		cr.ComputeS = comp
-		cr.CommS = r.comm
+		switch f.Kind {
+		case fault.Crash, fault.Battery:
+			// Died Point of the way through its assignment: partial
+			// compute spent, nothing transmitted.
+			cr.ComputeS, _ = d.TrainSamples(cfg.Arch, int(f.Point*float64(samples)), cfg.BatchSize)
+			if f.Kind == fault.Battery {
+				d.DrainBattery()
+			}
+		case fault.LinkFlap:
+			// Full assignment computed; the link dies Point of the way
+			// through the (possibly degraded) model exchange.
+			cr.ComputeS, _ = d.TrainSamples(cfg.Arch, samples, cfg.BatchSize)
+			cr.CommS = f.Point * cfg.Link.Degraded(f.Slow).RoundTripTime(r.modelBytes)
+		default:
+			cr.ComputeS, _ = d.TrainSamples(cfg.Arch, samples, cfg.BatchSize)
+			cr.CommS = cfg.Link.Degraded(f.Slow).RoundTripTime(r.modelBytes)
+		}
+		r.spans[i] = cr.ComputeS + cr.CommS
 		cr.EnergyJ = d.EnergyJ - e0
 		cr.Temperature = d.TempC
 		cr.Throttles = d.Throttles - th0
 		cr.BatteryFrac = d.BatteryRemaining()
 	})
 
+	// Quorum cut: collect surviving worked slots in (span, client id)
+	// order and flag everything beyond the first Quorum as late. The
+	// sorter and order scratch live on the runner, so the cut allocates
+	// nothing.
+	if cfg.Quorum > 0 {
+		n := 0
+		for i := 0; i < k; i++ {
+			if r.crs[i].Samples > 0 && r.crs[i].Fault == fault.None {
+				r.order[n] = i
+				n++
+			}
+		}
+		if n > cfg.Quorum {
+			r.sorter.idx = r.order[:n]
+			sort.Sort(&r.sorter)
+			for _, i := range r.order[cfg.Quorum:n] {
+				r.crs[i].Late = true
+			}
+		}
+	}
+
 	// Streaming reduction, one pass in slot order after the join.
+	// Faulted and late slots never participate and do not extend the
+	// makespan (the round closes without them); their wasted energy and
+	// throttles still count.
 	for i := 0; i < k; i++ {
 		cr := &r.crs[i]
-		if cr.Samples > 0 {
+		if cr.Fault != fault.None {
+			pr.Faulted++
+		} else if cr.Late {
+			pr.Late++
+		} else if cr.Samples > 0 {
 			pr.Participants++
 			pr.Samples += cr.Samples
-		}
-		if r.spans[i] > pr.MakespanS {
-			pr.MakespanS = r.spans[i]
-			pr.Straggler = cr.ClientID
+			if r.spans[i] > pr.MakespanS {
+				pr.MakespanS = r.spans[i]
+				pr.Straggler = cr.ClientID
+			}
 		}
 		pr.EnergyJ += cr.EnergyJ
 		pr.Throttles += cr.Throttles
+	}
+	if (cfg.MinParticipants > 0 && pr.Participants < cfg.MinParticipants) ||
+		(pr.Participants == 0 && cfg.Faults.Active()) {
+		pr.Failed = true
+	}
+
+	// Feed outcomes back to a failure-aware sampler, in slot order.
+	if r.rep != nil {
+		for i := 0; i < k; i++ {
+			cr := &r.crs[i]
+			if cr.Samples <= 0 {
+				continue // unscheduled slots neither failed nor succeeded
+			}
+			if cr.Fault != fault.None {
+				r.rep.ReportFailure(cr.ClientID, round)
+			} else {
+				r.rep.ReportSuccess(cr.ClientID)
+			}
+		}
 	}
 
 	if cfg.Trace != nil {
 		emitRoundTrace(cfg.Trace, r.rings[:k], RoundStats{
 			Round: round, Makespan: pr.MakespanS, Accuracy: -1, TrainLoss: -1,
-			Clients: r.crs[:k],
+			Clients: r.crs[:k], Failed: pr.Failed,
 		}, pr.Straggler)
 	}
 	return pr, nil
@@ -348,7 +470,8 @@ func (r *PopulationRunner) Round(round int) (PopulationRound, error) {
 
 // SimulatePopulationRounds builds a runner and simulates cfg.Rounds
 // rounds. Same-seed runs are bit-identical (history and trace) for any
-// Workers value.
+// Workers value. A mid-run scheduler error returns the completed rounds
+// as a partial history alongside the error.
 func SimulatePopulationRounds(cfg PopulationConfig) (*PopulationHistory, error) {
 	r, err := NewPopulationRunner(cfg)
 	if err != nil {
@@ -358,7 +481,7 @@ func SimulatePopulationRounds(cfg PopulationConfig) (*PopulationHistory, error) 
 	for round := 0; round < r.cfg.Rounds; round++ {
 		pr, err := r.Round(round)
 		if err != nil {
-			return nil, err
+			return hist, err
 		}
 		hist.Rounds = append(hist.Rounds, pr)
 		hist.TotalSeconds += pr.MakespanS

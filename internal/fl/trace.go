@@ -1,6 +1,9 @@
 package fl
 
-import "fedsched/internal/trace"
+import (
+	"fedsched/internal/fault"
+	"fedsched/internal/trace"
+)
 
 // clientRingCapacity bounds each client's private throttle ring. A round
 // produces a handful of governor transitions per device (engage/release
@@ -32,10 +35,14 @@ func attachClientTracers(root *trace.Recorder, active []*Client) []*trace.Record
 
 // meanLoss is the sample-weighted mean local training loss over a
 // round's clients — what engines without a server-side loss (gossip)
-// report in the round summary.
+// report in the round summary. Faulted clients have no meaningful loss
+// and are skipped.
 func meanLoss(crs []ClientRound) float64 {
 	sum, n := 0.0, 0
 	for _, cr := range crs {
+		if cr.Fault != fault.None {
+			continue
+		}
 		sum += cr.TrainLoss * float64(cr.Samples)
 		n += cr.Samples
 	}
@@ -47,7 +54,8 @@ func meanLoss(crs []ClientRound) float64 {
 
 // emitRoundTrace merges one finished round into the run trace: per-client
 // throttle rings (drained in client order, stamped with the round), one
-// KindClientRound event per participant, and the KindRoundSummary
+// KindClientRound event per participant — immediately followed by a
+// KindFault event for fault victims — and the KindRoundSummary
 // aggregate. stats.Clients is index-aligned with the recs slice — both
 // follow the active-client order. Runs on the engine goroutine after the
 // round's join; no events are emitted concurrently.
@@ -66,11 +74,15 @@ func emitRoundTrace(root *trace.Recorder, recs []*trace.Recorder, stats RoundSta
 		}
 		flag := trace.ClientOK
 		switch {
+		case cr.Fault != fault.None:
+			flag = trace.ClientFaulted
 		case cr.Diverged:
 			flag = trace.ClientDiverged
 		case cr.Dropped:
 			flag = trace.ClientDropped
 			droppedClients++
+		case cr.Late:
+			flag = trace.ClientLate
 		default:
 			samples += cr.Samples
 		}
@@ -81,6 +93,17 @@ func emitRoundTrace(root *trace.Recorder, recs []*trace.Recorder, stats RoundSta
 			Battery: cr.BatteryFrac, TempC: cr.Temperature,
 			Loss: trace.Sanitize(cr.TrainLoss),
 		})
+		if cr.Fault != fault.None {
+			// The fault event carries what the failure cost: time and
+			// energy burned before the update was lost, and the victim's
+			// post-fault battery level. Flag is the fault.Kind wire value.
+			root.Emit(trace.Event{
+				Kind: trace.KindFault, Round: stats.Round, Client: cr.ClientID,
+				Samples: cr.Samples, Flag: int(cr.Fault),
+				ComputeS: cr.ComputeS, CommS: cr.CommS, EnergyJ: cr.EnergyJ,
+				Battery: cr.BatteryFrac,
+			})
+		}
 		throttles += cr.Throttles
 		energy += cr.EnergyJ
 	}

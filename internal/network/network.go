@@ -28,6 +28,19 @@ func (l Link) String() string {
 	return fmt.Sprintf("%s(%g↑/%g↓ Mbps)", l.Name, l.UpMbps, l.DownMbps)
 }
 
+// Degraded returns the link with both bandwidths divided by factor (the
+// handshake latency is unchanged) — a congested cell or marginal-signal
+// period. Factors ≤ 1 return the link unchanged, so callers can apply a
+// fault plan's Slow factor unconditionally.
+func (l Link) Degraded(factor float64) Link {
+	if factor <= 1 {
+		return l
+	}
+	l.UpMbps /= factor
+	l.DownMbps /= factor
+	return l
+}
+
 // UploadTime returns T^u(M): the seconds to push `bytes` from the device to
 // the server.
 func (l Link) UploadTime(bytes int) float64 {

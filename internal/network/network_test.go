@@ -85,3 +85,20 @@ func TestObservation3CommShareSmall(t *testing.T) {
 		t.Fatalf("max communication share %.2f — computation should dominate", max)
 	}
 }
+
+func TestDegraded(t *testing.T) {
+	l := WiFi()
+	d := l.Degraded(4)
+	if d.UpMbps != l.UpMbps/4 || d.DownMbps != l.DownMbps/4 {
+		t.Fatalf("Degraded(4) bandwidths %g/%g, want quartered", d.UpMbps, d.DownMbps)
+	}
+	if d.RTTms != l.RTTms {
+		t.Fatal("Degraded must not change RTT")
+	}
+	if d.UploadTime(1<<20) <= l.UploadTime(1<<20) {
+		t.Fatal("degraded upload should be slower")
+	}
+	if l.Degraded(1) != l || l.Degraded(0.5) != l {
+		t.Fatal("factor ≤ 1 must be a no-op")
+	}
+}

@@ -14,6 +14,7 @@ type roundRow struct {
 	loss, accuracy        float64
 	samples, participants int
 	dropped, throttles    int
+	faulted               int
 	energyJ               float64
 	haveSummary           bool
 }
@@ -62,12 +63,14 @@ func WriteSummary(w io.Writer, events []Event) error {
 			r.straggler = e.Client
 			r.samples = e.Samples
 			r.energyJ = e.EnergyJ
+		case KindFault:
+			row(e.Round).faulted++
 		}
 	}
 
 	var b strings.Builder
-	fmt.Fprintf(&b, "%5s  %10s  %9s  %8s  %8s  %7s  %7s  %6s  %9s\n",
-		"round", "makespan_s", "straggler", "loss", "accuracy", "clients", "samples", "thrtl", "energy_kJ")
+	fmt.Fprintf(&b, "%5s  %10s  %9s  %8s  %8s  %7s  %7s  %6s  %6s  %9s\n",
+		"round", "makespan_s", "straggler", "loss", "accuracy", "clients", "samples", "faults", "thrtl", "energy_kJ")
 	n := 0
 	for _, round := range order {
 		r := rows[round]
@@ -75,9 +78,9 @@ func WriteSummary(w io.Writer, events []Event) error {
 			continue
 		}
 		n++
-		fmt.Fprintf(&b, "%5d  %10.2f  %9d  %8.4f  %8.4f  %7d  %7d  %6d  %9.3f\n",
+		fmt.Fprintf(&b, "%5d  %10.2f  %9d  %8.4f  %8.4f  %7d  %7d  %6d  %6d  %9.3f\n",
 			r.round, r.makespan, r.straggler, r.loss, r.accuracy,
-			r.participants, r.samples, r.throttles, r.energyJ/1000)
+			r.participants, r.samples, r.faulted, r.throttles, r.energyJ/1000)
 	}
 	if n == 0 {
 		fmt.Fprintln(&b, "(no round events in trace)")

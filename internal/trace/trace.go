@@ -34,7 +34,9 @@
 //	KindClientRound one client's contribution to a synchronous round:
 //	                compute/comm seconds, round energy, battery fraction,
 //	                end-of-training temperature, throttle transitions
-//	                during training, Flag 1 = dropped, 2 = diverged.
+//	                during training, Flag 1 = dropped, 2 = diverged,
+//	                3 = faulted (injected; see KindFault), 4 = late
+//	                (finished after the quorum closed).
 //	KindRoundSummary per-round aggregate: MakespanS, Straggler (client id
 //	                defining the makespan, −1 if none), Loss (sample-
 //	                weighted, −1 when unavailable), Accuracy (−1 when the
@@ -46,6 +48,15 @@
 //	                version lag, plus the client's compute/comm/energy.
 //	KindSimStep     one processed discrete-event-engine event: AtS is the
 //	                virtual time, Round the engine sequence number.
+//	KindFault       one injected client fault (internal/fault): Client is
+//	                the victim, Flag the fault kind (1 crash, 2 battery,
+//	                3 link flap, 4 corrupt), Samples the assigned work,
+//	                ComputeS/CommS the time actually spent before the
+//	                failure, EnergyJ the wasted energy, Battery the
+//	                post-fault battery fraction. Synchronous engines emit
+//	                it right after the victim's KindClientRound event;
+//	                the async engine at the fault's virtual time (AtS),
+//	                with Round the client's cycle index.
 //
 // Non-finite floats never enter a trace: emitters sanitize NaN/±Inf to −1
 // (Sanitize) so every event is JSON-encodable.
@@ -56,7 +67,8 @@ import "math"
 // Kind discriminates trace event types.
 type Kind uint8
 
-// Event kinds, in rough pipeline order.
+// Event kinds, in rough pipeline order. New kinds are appended (never
+// inserted) so existing golden traces keep their wire encoding.
 const (
 	KindSchedule Kind = iota
 	KindSolver
@@ -65,6 +77,7 @@ const (
 	KindRoundSummary
 	KindMerge
 	KindSimStep
+	KindFault
 )
 
 // kindNames is the stable wire encoding of Kind (JSONL and CSV).
@@ -76,6 +89,7 @@ var kindNames = [...]string{
 	KindRoundSummary: "round",
 	KindMerge:        "merge",
 	KindSimStep:      "sim_step",
+	KindFault:        "fault",
 }
 
 // String implements fmt.Stringer.
@@ -94,11 +108,14 @@ const (
 	ThrottleRecover = 3 // hard trip recovered (hysteresis)
 )
 
-// Client-round flags (Event.Flag for KindClientRound).
+// Client-round flags (Event.Flag for KindClientRound). Appended, never
+// renumbered: the values are wire constants in golden traces.
 const (
 	ClientOK       = 0
 	ClientDropped  = 1 // cut by the round deadline; update discarded
 	ClientDiverged = 2 // non-finite weights; update rejected
+	ClientFaulted  = 3 // injected fault (see the paired KindFault event)
+	ClientLate     = 4 // finished after the quorum closed; update discarded
 )
 
 // Event is one fixed-size trace record. All fields are value types so a

@@ -158,10 +158,47 @@ func populationGoldenTrace(t *testing.T) []trace.Event {
 	return rec.Events()
 }
 
+// faultsGoldenTrace: a four-client FedAvg run under an aggressive
+// fixed-seed fault plan with a quorum cut — pins the fault pipeline's
+// trace schema: KindFault events with their cost fields, the
+// ClientFaulted/ClientLate flags on client_round events, and round
+// summaries that exclude lost updates. Recorded with Workers: -1
+// (sequential); the engine contract makes any other worker count
+// produce identical bytes.
+func faultsGoldenTrace(t *testing.T) []trace.Event {
+	t.Helper()
+	rec := NewTraceRecorder(0)
+	train, test := SMNIST(240, 3), SMNIST(120, 4)
+	part := PartitionIID(train, 4, 5)
+	devs := []*device.Device{
+		device.New(device.Pixel2()), device.New(device.Nexus6P()),
+		device.New(device.Mate10()), device.New(device.Nexus6()),
+	}
+	links := []network.Link{WiFi(), WiFi(), WiFi(), WiFi()}
+	clients, err := fl.BuildClients(devs, links, part.Materialize(train))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan, err := ParseFaultSpec("crash=0.25,flap=0.2,corrupt=0.15,degrade=0.3,slow=3", 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := fl.Config{
+		Arch: LeNetSmall(1, 16, 16, 10), Rounds: 3, BatchSize: 20,
+		LR: 0.02, Momentum: 0.9, Seed: 1, EvalEvery: 1, Workers: -1,
+		Faults: plan, Quorum: 3, MinParticipants: 1,
+		Trace: rec,
+	}
+	if _, err := fl.Run(cfg, clients, test); err != nil {
+		t.Fatal(err)
+	}
+	return rec.Events()
+}
+
 // TestGoldenTrace pins the full observability pipeline: fixed-seed runs
-// of the Fed-LBAP, Fed-MinAvg, Equal-baseline and 1M-client population
-// scenarios must keep producing the traces recorded under
-// testdata/trace. Comparison is field-by-field under DefaultTolerances
+// of the Fed-LBAP, Fed-MinAvg, Equal-baseline, 1M-client population and
+// fault-injection scenarios must keep producing the traces recorded
+// under testdata/trace. Comparison is field-by-field under DefaultTolerances
 // (not byte equality), so the goldens survive libm-level float drift
 // across toolchains while still catching any schema, ordering, count or
 // semantic change.
@@ -174,6 +211,7 @@ func TestGoldenTrace(t *testing.T) {
 		{"minavg", minavgGoldenTrace},
 		{"baseline", baselineGoldenTrace},
 		{"population", populationGoldenTrace},
+		{"faults", faultsGoldenTrace},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
