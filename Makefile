@@ -11,11 +11,12 @@ GO ?= go
 # (or re-record the baselines, see README) when moving to new hardware.
 BENCH_MAX_SLOWDOWN ?= 1.15
 
-.PHONY: build test vet lint lint-ci lint-baseline fuzz-smoke fmt-check \
-	check check-nolint race race-tensor trace-golden \
+.PHONY: build test vet lint lint-ci lint-baseline \
+	fuzz-smoke fuzz-smoke-sched fuzz-smoke-sample fuzz-smoke-fault \
+	fmt-check check check-nolint race race-tensor trace-golden \
 	bench bench-parallel bench-gemm bench-gemm-f32 bench-sched bench-ci \
-	bench-regression \
-	population-smoke fault-smoke
+	bench-regression bench-regression-serve \
+	population-smoke fault-smoke serve-smoke
 
 build:
 	$(GO) build ./...
@@ -48,12 +49,27 @@ lint-baseline:
 # Fed-LBAP solver against the dense oracle, the cohort samplers'
 # sortedness/bounds/determinism contract, and the fault plan's
 # spec-parse/draw invariants. Seeds live under testdata/fuzz; CI runs
-# this in the lint lane.
+# this in the lint lane. Each target is its own recipe so one failing
+# fuzzer no longer hides the others: the umbrella runs all three and
+# fails at the end with the full list of failed targets.
 FUZZTIME ?= 10s
-fuzz-smoke:
+fuzz-smoke-sched:
 	$(GO) test ./internal/sched -run '^$$' -fuzz FuzzSparseFedLBAP -fuzztime $(FUZZTIME)
+
+fuzz-smoke-sample:
 	$(GO) test ./internal/sample -run '^$$' -fuzz FuzzCohort -fuzztime $(FUZZTIME)
+
+fuzz-smoke-fault:
 	$(GO) test ./internal/fault -run '^$$' -fuzz FuzzFaultPlan -fuzztime $(FUZZTIME)
+
+fuzz-smoke:
+	@failed=""; \
+	for t in fuzz-smoke-sched fuzz-smoke-sample fuzz-smoke-fault; do \
+		$(MAKE) $$t FUZZTIME=$(FUZZTIME) || failed="$$failed $$t"; \
+	done; \
+	if [ -n "$$failed" ]; then \
+		echo "fuzz-smoke: failed targets:$$failed"; exit 1; \
+	fi
 
 fmt-check:
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -71,7 +87,7 @@ check: build vet lint test race-tensor
 check-nolint: build vet test race-tensor
 
 race:
-	$(GO) test -race ./internal/fl/... ./internal/tensor/...
+	$(GO) test -race ./internal/fl/... ./internal/tensor/... ./internal/serve/...
 
 # Fast race pass over just the GEMM core and lane semaphore — cheap
 # enough (~10s) to gate every `make check`.
@@ -118,12 +134,26 @@ bench-ci:
 
 # Compare the bench-ci output against the recorded baselines; benchdiff
 # takes the min ns/op over the 5 reps and fails on a >15% geomean
-# slowdown (override with BENCH_MAX_SLOWDOWN=1.30 etc.).
-bench-regression:
+# slowdown (override with BENCH_MAX_SLOWDOWN=1.30 etc.). Also gates the
+# serving numbers when a fresh artifacts/BENCH_serve.json is present
+# (produced by `make serve-smoke`).
+bench-regression: bench-regression-serve
 	$(GO) run ./cmd/benchdiff -bench bench-results.txt \
 		-baseline BENCH_gemm.json -baseline BENCH_fl_parallel.json \
 		-baseline BENCH_sched.json \
 		-max-slowdown $(BENCH_MAX_SLOWDOWN)
+
+# Gate the serving latency/throughput numbers (p50/p99 job latency,
+# ns-per-job) against the recorded BENCH_serve.json, same geomean rule.
+# Skips quietly when serve-smoke has not produced a current measurement.
+bench-regression-serve:
+	@if [ -f artifacts/BENCH_serve.json ]; then \
+		$(GO) run ./cmd/benchdiff -bench-json artifacts/BENCH_serve.json \
+			-baseline BENCH_serve.json \
+			-max-slowdown $(BENCH_MAX_SLOWDOWN); \
+	else \
+		echo "bench-regression-serve: artifacts/BENCH_serve.json not found; run 'make serve-smoke' first (skipping)"; \
+	fi
 
 # 100K-client fixed-seed population smoke: build, solve and trace one
 # scheduling round over a fleet three orders of magnitude past the
@@ -147,3 +177,12 @@ fault-smoke:
 		-faults 'crash=0.2,battery=0.05,flap=0.1,corrupt=0.05,degrade=0.3,slow=4' \
 		-overselect 0.5 -min-participants 32 -cooldown 2 \
 		-trace artifacts/fault-smoke.jsonl
+
+# End-to-end serving smoke (scripts/serve-smoke.sh): boots fedserve on a
+# loopback ephemeral port, drives a fixed-seed 3-job mix through fedload
+# (writing artifacts/BENCH_serve.json), then repeats the mix with a hard
+# kill -9 mid-run and a daemon restart, asserting the resumed jobs'
+# traces and round histories are byte-identical to the uninterrupted
+# run. Deterministic end to end; CI runs it in the serve job.
+serve-smoke:
+	./scripts/serve-smoke.sh

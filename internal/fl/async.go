@@ -140,8 +140,16 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 
 	var engine sim.Engine
 	engine.Tracer = cfg.Trace
+	// cancelled latches the first true poll of Config.Cancel so every
+	// later done() check agrees — in-flight event callbacks all no-op
+	// from that moment and the run winds down at the current virtual
+	// time, like hitting MaxUpdates.
+	cancelled := false
 	done := func() bool {
-		return (cfg.MaxUpdates > 0 && hist.Updates >= cfg.MaxUpdates) || engine.Now() > deadline
+		if !cancelled && cfg.Cancel != nil && cfg.Cancel() {
+			cancelled = true
+		}
+		return cancelled || (cfg.MaxUpdates > 0 && hist.Updates >= cfg.MaxUpdates) || engine.Now() > deadline
 	}
 
 	workers := workerCount(cfg.Workers, len(active))
@@ -340,6 +348,9 @@ func RunAsync(cfg AsyncConfig, clients []*Client, test *data.Dataset) (*AsyncHis
 		if c.Device != nil {
 			hist.TotalEnergyJ += c.Device.EnergyJ
 		}
+	}
+	if cancelled {
+		return hist, fmt.Errorf("fl: async run stopped after %d merges: %w", hist.Updates, ErrCancelled)
 	}
 	return hist, nil
 }

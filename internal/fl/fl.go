@@ -14,6 +14,7 @@
 package fl
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -29,6 +30,13 @@ import (
 	"fedsched/internal/tensor"
 	"fedsched/internal/trace"
 )
+
+// ErrCancelled reports a run stopped early through Config.Cancel. The
+// engines wrap it with the stopping round; match with errors.Is. The
+// History returned alongside it holds every completed round and the
+// global model as of the stop — a checkpointed run can later resume
+// past the same point.
+var ErrCancelled = errors.New("run cancelled")
 
 // Client is one federated participant.
 type Client struct {
@@ -147,6 +155,15 @@ type Config struct {
 	// configuration must match the checkpointed one (seed, rounds,
 	// clients), and the run continues from Checkpoint.NextRound.
 	Resume *Checkpoint
+	// Cancel, when non-nil, is polled between rounds (all three round
+	// engines honour it; RunAsync polls it at every virtual event).
+	// When it reports true the run stops at that boundary and returns
+	// the partial History alongside ErrCancelled — completed rounds are
+	// never discarded, exactly like the mid-run error paths. The poll
+	// runs on the engine goroutine, so the callback may read shared
+	// state guarded elsewhere (an atomic flag is the intended shape);
+	// it must not block.
+	Cancel func() bool
 }
 
 func (c Config) withDefaults() Config {
@@ -320,6 +337,9 @@ func Run(cfg Config, clients []*Client, test *data.Dataset) (*History, error) {
 	}
 
 	for round := startRound; round < cfg.Rounds; round++ {
+		if cfg.Cancel != nil && cfg.Cancel() {
+			return finish(), fmt.Errorf("fl: run stopped before round %d: %w", round, ErrCancelled)
+		}
 		stats := RoundStats{Round: round}
 
 		// The round's cohort: indices into active. Without a sampler every

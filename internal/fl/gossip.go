@@ -103,6 +103,10 @@ func RunGossip(cfg GossipConfig, clients []*Client, test *data.Dataset) (*Gossip
 	rep, _ := cfg.Sampler.(sample.FailureReporter)
 
 	for round := 0; round < cfg.Rounds; round++ {
+		if cfg.Cancel != nil && cfg.Cancel() {
+			hist.Rounds = round
+			return hist, fmt.Errorf("fl: gossip stopped before round %d: %w", round, ErrCancelled)
+		}
 		sel := selIdent
 		if cfg.Sampler != nil {
 			sel = cfg.Sampler.Cohort(round, selBuf)

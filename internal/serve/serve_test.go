@@ -1,0 +1,391 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// startServer boots a Server over a fresh state dir plus an httptest
+// front end. The cleanup closes the HTTP layer first, then interrupts
+// the daemon.
+func startServer(t *testing.T, opt Options) (*Server, *httptest.Server) {
+	t.Helper()
+	if opt.Dir == "" {
+		opt.Dir = t.TempDir()
+	}
+	s, err := New(opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func submit(t *testing.T, ts *httptest.Server, body string) (JobStatus, *http.Response) {
+	t.Helper()
+	resp, err := http.Post(ts.URL+"/jobs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st JobStatus
+	if resp.StatusCode == http.StatusAccepted {
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return st, resp
+}
+
+func getStatus(t *testing.T, ts *httptest.Server, id string) JobStatus {
+	t.Helper()
+	resp, err := http.Get(ts.URL + "/jobs/" + id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %s: HTTP %d", id, resp.StatusCode)
+	}
+	var st JobStatus
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func terminal(state string) bool {
+	return state == StateCompleted || state == StateFailed || state == StateCancelled
+}
+
+// waitFor polls a job's status until cond holds (engine work under the
+// race detector is slow, hence the generous deadline).
+func waitFor(t *testing.T, ts *httptest.Server, id string, what string, cond func(JobStatus) bool) JobStatus {
+	t.Helper()
+	deadline := time.Now().Add(120 * time.Second)
+	for time.Now().Before(deadline) {
+		st := getStatus(t, ts, id)
+		if cond(st) {
+			return st
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached %q (last: %+v)", id, what, getStatus(t, ts, id))
+	return JobStatus{}
+}
+
+func TestSubmitHappyPath(t *testing.T) {
+	_, ts := startServer(t, Options{})
+
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v / %v", err, resp)
+	}
+	resp.Body.Close()
+
+	st, resp := submit(t, ts, `{"name":"hp","clients":3,"rounds":2,"samples":120,"test_samples":60,"seed":7}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	if st.ID == "" || st.Engine != "sync" || st.Rounds != 2 {
+		t.Fatalf("unexpected submit status %+v", st)
+	}
+
+	final := waitFor(t, ts, st.ID, StateCompleted, func(s JobStatus) bool { return terminal(s.State) })
+	if final.State != StateCompleted {
+		t.Fatalf("job ended %s (%s)", final.State, final.Error)
+	}
+	if final.RoundsDone != 2 || final.Name != "hp" {
+		t.Fatalf("unexpected final status %+v", final)
+	}
+
+	rr, err := http.Get(ts.URL + "/jobs/" + st.ID + "/rounds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rounds []RoundInfo
+	if err := json.NewDecoder(rr.Body).Decode(&rounds); err != nil {
+		t.Fatal(err)
+	}
+	rr.Body.Close()
+	if len(rounds) != 2 || rounds[1].Participants != 3 {
+		t.Fatalf("unexpected rounds %+v", rounds)
+	}
+
+	tr, err := http.Get(ts.URL + "/jobs/" + st.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(tr.Body)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	summaries := 0
+	for _, ln := range lines {
+		var ev map[string]any
+		if err := json.Unmarshal([]byte(ln), &ev); err != nil {
+			t.Fatalf("trace line %q: %v", ln, err)
+		}
+		if ev["kind"] == "round" {
+			summaries++
+		}
+	}
+	if summaries != 2 {
+		t.Fatalf("trace has %d round summaries, want 2", summaries)
+	}
+
+	lr, err := http.Get(ts.URL + "/jobs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all []JobStatus
+	if err := json.NewDecoder(lr.Body).Decode(&all); err != nil {
+		t.Fatal(err)
+	}
+	lr.Body.Close()
+	if len(all) != 1 || all[0].ID != st.ID {
+		t.Fatalf("unexpected listing %+v", all)
+	}
+}
+
+func TestMalformedConfigsRejected(t *testing.T) {
+	_, ts := startServer(t, Options{})
+	bad := []string{
+		`{not json`,
+		`{"engine":"quantum"}`,
+		`{"dataset":"mnist"}`,
+		`{"testbed":9}`,
+		`{"no_such_field":1}`,
+		`{"clients":3,"cohort_size":-1}`,
+		`{"precision":"f16"}`,
+		`{"faults":"crash=oops"}`,
+		`{"topology":"ring"}`,
+		`{"max_updates":5}`,
+		`{"scheduler":"fedlbap"}`,
+		`{"samples":5}`,
+	}
+	for _, body := range bad {
+		_, resp := submit(t, ts, body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("submit %s: HTTP %d, want 400", body, resp.StatusCode)
+		}
+	}
+
+	if resp, err := http.Get(ts.URL + "/jobs/job-99"); err != nil || resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("missing job: %v %v", err, resp.StatusCode)
+	}
+}
+
+func TestBackpressureAndCancel(t *testing.T) {
+	_, ts := startServer(t, Options{QueueCap: 1, MaxRunning: 1})
+
+	long := `{"clients":3,"rounds":500,"samples":300,"test_samples":50,"seed":3}`
+	first, resp := submit(t, ts, long)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("first submit: HTTP %d", resp.StatusCode)
+	}
+	// The first job dispatches immediately (MaxRunning 1), so the second
+	// occupies the whole queue and the third must bounce.
+	second, resp := submit(t, ts, long)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("second submit: HTTP %d", resp.StatusCode)
+	}
+	_, resp = submit(t, ts, long)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("third submit: HTTP %d, want 429", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("429 without a Retry-After hint")
+	}
+
+	// Cancelling the queued job is immediate; cancelling the running one
+	// stops it at the next round boundary with its partial history.
+	cr, err := http.Post(ts.URL+"/jobs/"+second.ID+"/cancel", "", nil)
+	if err != nil || cr.StatusCode != http.StatusOK {
+		t.Fatalf("cancel queued: %v %d", err, cr.StatusCode)
+	}
+	cr.Body.Close()
+
+	waitFor(t, ts, first.ID, "a completed round", func(s JobStatus) bool { return s.RoundsDone >= 1 })
+	cr, err = http.Post(ts.URL+"/jobs/"+first.ID+"/cancel", "", nil)
+	if err != nil || cr.StatusCode != http.StatusAccepted {
+		t.Fatalf("cancel running: %v %d", err, cr.StatusCode)
+	}
+	cr.Body.Close()
+	final := waitFor(t, ts, first.ID, StateCancelled, func(s JobStatus) bool { return terminal(s.State) })
+	if final.State != StateCancelled || final.RoundsDone < 1 || final.RoundsDone >= 500 {
+		t.Fatalf("unexpected cancelled status %+v", final)
+	}
+
+	// Terminal jobs reject further cancels.
+	cr, err = http.Post(ts.URL+"/jobs/"+first.ID+"/cancel", "", nil)
+	if err != nil || cr.StatusCode != http.StatusConflict {
+		t.Fatalf("re-cancel: %v %d, want 409", err, cr.StatusCode)
+	}
+	cr.Body.Close()
+}
+
+// TestRestartResume is the serving layer's core guarantee: interrupt a
+// daemon mid-job, restart over the same state directory, and the
+// finished job's round history and trace are byte-identical to a never-
+// interrupted run of the same config.
+func TestRestartResume(t *testing.T) {
+	cfg := `{"clients":3,"rounds":8,"samples":300,"test_samples":100,"seed":5}`
+	dir1 := t.TempDir()
+
+	s1, err := New(Options{Dir: dir1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts1 := httptest.NewServer(s1.Handler())
+	st, resp := submit(t, ts1, cfg)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit: HTTP %d", resp.StatusCode)
+	}
+	waitFor(t, ts1, st.ID, "two completed rounds", func(s JobStatus) bool { return s.RoundsDone >= 2 })
+	ts1.Close()
+	s1.Close() // interrupts at the next round boundary
+
+	jobDir := filepath.Join(dir1, "jobs", st.ID)
+	var onDisk stateFile
+	if err := readJSON(filepath.Join(jobDir, "state.json"), &onDisk); err != nil {
+		t.Fatal(err)
+	}
+	if onDisk.State == StateRunning {
+		if _, err := os.Stat(filepath.Join(jobDir, "resume.bin")); err != nil {
+			t.Fatalf("interrupted job has no resume snapshot: %v", err)
+		}
+	} else {
+		// The job outran the interrupt; the byte-identity checks below
+		// still hold, they just exercise less.
+		t.Logf("job finished before the interrupt (state %s)", onDisk.State)
+	}
+
+	s2, err := New(Options{Dir: dir1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(s2.Handler())
+	t.Cleanup(func() { ts2.Close(); s2.Close() })
+	final := waitFor(t, ts2, st.ID, StateCompleted, func(s JobStatus) bool { return terminal(s.State) })
+	if final.State != StateCompleted {
+		t.Fatalf("resumed job ended %s (%s)", final.State, final.Error)
+	}
+	if onDisk.State == StateRunning && !final.Resumed {
+		t.Fatal("job should report resumed=true after a restart")
+	}
+	if final.RoundsDone != 8 {
+		t.Fatalf("resumed job completed %d rounds, want 8", final.RoundsDone)
+	}
+	if _, err := os.Stat(filepath.Join(jobDir, "resume.bin")); !os.IsNotExist(err) {
+		t.Fatalf("terminal job should have no resume snapshot (err %v)", err)
+	}
+
+	// Uninterrupted reference run of the identical config.
+	refDir := t.TempDir()
+	_, ts3 := startServer(t, Options{Dir: refDir})
+	ref, _ := submit(t, ts3, cfg)
+	refFinal := waitFor(t, ts3, ref.ID, StateCompleted, func(s JobStatus) bool { return terminal(s.State) })
+	if refFinal.State != StateCompleted {
+		t.Fatalf("reference job ended %s (%s)", refFinal.State, refFinal.Error)
+	}
+
+	for _, name := range []string{"trace.jsonl", "rounds.json"} {
+		got, err := os.ReadFile(filepath.Join(jobDir, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join(refDir, "jobs", ref.ID, name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs between the resumed and uninterrupted runs (%d vs %d bytes)", name, len(got), len(want))
+		}
+	}
+	if final.FinalAccuracy != refFinal.FinalAccuracy || final.TotalSeconds != refFinal.TotalSeconds {
+		t.Errorf("final stats diverge: %+v vs %+v", final, refFinal)
+	}
+}
+
+// TestConcurrentJobs exercises the admission path and the engines' shared
+// tensor-lane pool under concurrent submissions — this is the test the
+// race detector leans on (`make race` includes this package).
+func TestConcurrentJobs(t *testing.T) {
+	_, ts := startServer(t, Options{MaxRunning: 4, LaneBudget: 8})
+
+	const n = 4
+	ids := make([]string, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body := fmt.Sprintf(`{"clients":2,"rounds":2,"samples":100,"test_samples":40,"seed":%d}`, i+1)
+			st, resp := submit(t, ts, body)
+			if resp.StatusCode != http.StatusAccepted {
+				t.Errorf("submit %d: HTTP %d", i, resp.StatusCode)
+				return
+			}
+			ids[i] = st.ID
+		}(i)
+	}
+	wg.Wait()
+	for _, id := range ids {
+		if id == "" {
+			t.Fatal("a submission failed")
+		}
+		final := waitFor(t, ts, id, StateCompleted, func(s JobStatus) bool { return terminal(s.State) })
+		if final.State != StateCompleted || final.RoundsDone != 2 {
+			t.Fatalf("job %s: %+v", id, final)
+		}
+	}
+}
+
+// TestEngineCoverage runs one async and one gossip job end to end: both
+// are run-to-completion modes without round checkpoints, so only the
+// terminal path persists their trace.
+func TestEngineCoverage(t *testing.T) {
+	_, ts := startServer(t, Options{MaxRunning: 2, LaneBudget: 4})
+
+	async, resp := submit(t, ts, `{"engine":"async","clients":2,"rounds":1,"samples":100,"test_samples":40,"max_updates":6,"seed":2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("async submit: HTTP %d", resp.StatusCode)
+	}
+	gossip, resp := submit(t, ts, `{"engine":"gossip","clients":2,"rounds":2,"samples":100,"test_samples":40,"seed":2}`)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("gossip submit: HTTP %d", resp.StatusCode)
+	}
+
+	a := waitFor(t, ts, async.ID, StateCompleted, func(s JobStatus) bool { return terminal(s.State) })
+	if a.State != StateCompleted || a.RoundsDone != 6 {
+		t.Fatalf("async: %+v", a)
+	}
+	g := waitFor(t, ts, gossip.ID, StateCompleted, func(s JobStatus) bool { return terminal(s.State) })
+	if g.State != StateCompleted || g.RoundsDone != 2 {
+		t.Fatalf("gossip: %+v", g)
+	}
+	tr, err := http.Get(ts.URL + "/jobs/" + gossip.ID + "/trace")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(tr.Body)
+	if !strings.Contains(buf.String(), `"kind":"round"`) {
+		t.Fatal("gossip trace is missing round summaries")
+	}
+}

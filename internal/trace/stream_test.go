@@ -1,0 +1,115 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func streamEvents(n int) []Event {
+	out := make([]Event, n)
+	for i := range out {
+		out[i] = Event{
+			Kind: Kind(i % int(KindFault+1)), Round: i / 3, Client: i,
+			Samples: 100 + i, ComputeS: 1.25 * float64(i), Loss: 0.5,
+		}
+	}
+	return out
+}
+
+// TestStreamMatchesWriteJSONL is the core contract: flushing in chunks
+// produces byte-identical output to one WriteJSONL over the full
+// sequence, and the offset tracks the bytes exactly.
+func TestStreamMatchesWriteJSONL(t *testing.T) {
+	events := streamEvents(23)
+	var want bytes.Buffer
+	if err := WriteJSONL(&want, events); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, chunk := range []int{1, 4, 23} {
+		var got bytes.Buffer
+		s := NewStream(&got, 0)
+		r := New(64)
+		for i, e := range events {
+			r.Emit(e)
+			if (i+1)%chunk == 0 {
+				if err := s.Flush(r); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		if err := s.Flush(r); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("chunk=%d: streamed bytes differ from WriteJSONL", chunk)
+		}
+		if s.Offset() != int64(got.Len()) {
+			t.Fatalf("chunk=%d: offset %d, wrote %d bytes", chunk, s.Offset(), got.Len())
+		}
+		if r.Len() != 0 {
+			t.Fatalf("chunk=%d: recorder not reset after flush", chunk)
+		}
+	}
+}
+
+func TestStreamBaseOffset(t *testing.T) {
+	var sink bytes.Buffer
+	s := NewStream(&sink, 100)
+	r := New(8)
+	r.Emit(Event{Kind: KindRoundSummary, Round: 1, Client: -1})
+	if err := s.Flush(r); err != nil {
+		t.Fatal(err)
+	}
+	if s.Offset() != 100+int64(sink.Len()) {
+		t.Fatalf("offset %d, want base 100 + %d", s.Offset(), sink.Len())
+	}
+}
+
+func TestStreamEmptyFlush(t *testing.T) {
+	s := NewStream(&bytes.Buffer{}, 0)
+	if err := s.Flush(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(New(4)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Offset() != 0 {
+		t.Fatalf("offset moved on empty flushes: %d", s.Offset())
+	}
+}
+
+// TestStreamOverflowIsLoud: a ring that wrapped between flushes lost
+// events — the stream must refuse rather than silently persist a gap.
+func TestStreamOverflowIsLoud(t *testing.T) {
+	s := NewStream(&bytes.Buffer{}, 0)
+	r := New(4)
+	for i := 0; i < 6; i++ {
+		r.Emit(Event{Round: i})
+	}
+	if err := s.Flush(r); err == nil {
+		t.Fatal("want an overflow error, got nil")
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	return w.n, errors.New("disk full")
+}
+
+func TestStreamWriteErrorKeepsState(t *testing.T) {
+	s := NewStream(&failingWriter{n: 3}, 0)
+	r := New(8)
+	r.Emit(Event{Round: 7})
+	if err := s.Flush(r); err == nil {
+		t.Fatal("want a write error")
+	}
+	if s.Offset() != 0 {
+		t.Fatalf("offset advanced past a failed write: %d", s.Offset())
+	}
+	if r.Len() != 1 {
+		t.Fatalf("recorder drained despite the failed write: %d events", r.Len())
+	}
+}
